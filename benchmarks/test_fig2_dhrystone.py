@@ -1,0 +1,45 @@
+"""Figure 2: Dhrystone throughput under MIPS, CHERIv2 and CHERIv3.
+
+Paper: "The Dhrystone results show the CHERI version to be around 2% faster
+than the MIPS code, but this is well within the margin of error" — i.e. the
+capability ABIs impose no meaningful overhead on a compute-bound benchmark.
+
+Reproduction: the condensed Dhrystone loop runs under the three models; the
+throughput metric (Dhrystones per simulated second at the paper's 100 MHz
+clock) must agree within a few percent across models.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.workloads import dhrystone
+
+MODELS = ("pdp11", "cheri_v2", "cheri_v3")
+RUNS = dhrystone.DEFAULT_RUNS
+
+
+def _run_all():
+    return {model: dhrystone.run(model, runs=RUNS) for model in MODELS}
+
+
+def test_fig2_dhrystone(benchmark, results_dir):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    lines = [f"{'MODEL':<12}{'cycles':>12}{'Dhrystones/s':>16}{'vs MIPS':>10}"]
+    lines.append("-" * len(lines[0]))
+    baseline = results["pdp11"]
+    for model in MODELS:
+        run = results[model]
+        throughput = dhrystone.dhrystones_per_second(run, runs=RUNS)
+        delta = run.overhead_vs(baseline)
+        lines.append(f"{model:<12}{run.cycles:>12}{throughput:>16.0f}{delta * 100:>9.1f}%")
+    lines.append("")
+    lines.append("bigger Dhrystones/s is better, as in Figure 2")
+    write_result(results_dir, "fig2_dhrystone.txt", "\n".join(lines))
+
+    for model, run in results.items():
+        assert run.ok and run.result.exit_code == 0, model
+    # No meaningful difference between the MIPS ABI and either capability ABI.
+    assert abs(results["cheri_v3"].overhead_vs(baseline)) < 0.05
+    assert abs(results["cheri_v2"].overhead_vs(baseline)) < 0.05

@@ -1,0 +1,52 @@
+"""Figure 4: overhead of CHERI-zlib relative to MIPS zlib, by file size.
+
+Paper: the annotated pure-capability build shows "no measurable overhead for
+large files and a small overhead for small files"; the binary-compatible
+build that copies structures at the library boundary costs "around a 21%
+overhead, independent of file size".
+
+Reproduction: the LZ77 library compresses and round-trips synthetic files of
+increasing size under the MIPS model and the CHERIv3 model, in both the
+annotated and the copying ABI.  Expected shape: annotated overhead near
+zero (shrinking as files grow), copying overhead large (tens of percent) and
+roughly flat across file sizes.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.workloads import zlib_like
+
+FILE_SIZES = (256, 512, 1024)
+
+
+def test_fig4_zlib(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: zlib_like.run_figure4(FILE_SIZES), rounds=1, iterations=1
+    )
+
+    lines = [f"{'file bytes':>10}{'MIPS cycles':>14}{'CHERI':>12}{'CHERI(copy)':>13}"
+             f"{'annotated %':>13}{'copying %':>11}"]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append(
+            f"{row['file_bytes']:>10}{row['baseline_cycles']:>14}{row['annotated_cycles']:>12}"
+            f"{row['copying_cycles']:>13}{row['annotated_overhead'] * 100:>12.1f}%"
+            f"{row['copying_overhead'] * 100:>10.1f}%"
+        )
+    lines.append("")
+    lines.append("overhead normalised against the MIPS build, as in Figure 4")
+    write_result(results_dir, "fig4_zlib.txt", "\n".join(lines))
+
+    annotated = [row["annotated_overhead"] for row in rows]
+    copying = [row["copying_overhead"] for row in rows]
+
+    # Annotated ABI: within a few percent of the MIPS build at every size.
+    assert all(abs(value) < 0.05 for value in annotated), annotated
+    # Copying ABI: a large, roughly size-independent overhead (paper: ~21%).
+    assert all(0.10 < value < 0.45 for value in copying), copying
+    spread = max(copying) - min(copying)
+    assert spread < 0.10, f"copying overhead should be flat across sizes, spread={spread}"
+    # Copying is always more expensive than the annotated build.
+    assert all(c > a for c, a in zip(copying, annotated))

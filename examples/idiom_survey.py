@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Survey C code for PDP-11-model idioms (the paper's §2 methodology).
+
+The example analyzes a small "legacy" module the way the paper's modified
+LLVM analyzes its 2M-line corpus: compile to the typed IR, then categorise
+every pointer operation that escapes the type system.  It then runs the
+scaled package survey to regenerate a slice of Table 1.
+"""
+
+from repro.analysis import analyze_source, format_table1, survey_corpus
+from repro.analysis.idioms import IDIOM_DESCRIPTIONS
+
+LEGACY_MODULE = r"""
+struct header { long magic; int flags; };
+struct message { char payload[48]; struct header hdr; };
+
+/* container_of: recover the message from a pointer to its header */
+long message_magic(struct header *h) {
+    struct message *m = (struct message *)((char *)h - offsetof(struct message, hdr));
+    return m->hdr.magic;
+}
+
+/* hand-rolled bounds check via pointer subtraction */
+long bytes_left(char *cursor, char *end) {
+    return end - cursor;
+}
+
+/* pointer smuggled through an integer and masked */
+long tag_pointer(void *item) {
+    intptr_t bits = (intptr_t)item | 1;
+    return (long)(bits & ~(intptr_t)1);
+}
+
+/* const stripped before writing */
+void scrub(const char *view, long length) {
+    char *w = (char *)view;
+    long i;
+    for (i = 0; i < length; i++) {
+        w[i] = 0;
+    }
+}
+"""
+
+
+def main() -> None:
+    print("== single-module analysis ==")
+    result = analyze_source(LEGACY_MODULE)
+    for finding in result.findings:
+        description = IDIOM_DESCRIPTIONS[finding.idiom]
+        print(f"  line {finding.line:3d}  {finding.idiom.name:<9}  {description}")
+        print(f"            -> {finding.detail}")
+    print(f"  total: {result.total} idiom uses in {result.lines_of_code} lines")
+    print()
+
+    print("== scaled package survey (three of the paper's thirteen packages) ==")
+    rows = survey_corpus(idiom_scale=0.05, loc_scale=0.005,
+                         packages=("tcpdump", "perf", "zlib"))
+    print(format_table1(rows))
+    print()
+    print("Each package's measured mix mirrors the paper's Table 1 row: tcpdump is")
+    print("dominated by out-of-bounds intermediates from hand-rolled bounds checks,")
+    print("perf is the only package using container_of, zlib is nearly clean.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Static idiom analysis (the paper's §2 survey, Table 1).
+
+The paper modified Clang/LLVM to flag pointer operations that assume the
+PDP-11 memory model — pointer/integer round trips, arbitrary pointer
+subtraction, const-stripping and friends — and ran it over ~1.9M lines of
+popular C packages.  This package reproduces that methodology over mini-C:
+
+* :mod:`repro.analysis.idioms` — the taxonomy (DECONST, CONTAINER, SUB, II,
+  INT, IA, MASK, WIDE) and the paper's published per-package counts;
+* :mod:`repro.analysis.detector` — an IR-level detector that categorises the
+  pointer operations that survive optimization;
+* :mod:`repro.analysis.corpus` — a synthetic corpus generator whose 13
+  packages mirror the idiom-density profiles of the paper's survey targets;
+* :mod:`repro.analysis.report` — table formatting for the Table 1 benchmark.
+"""
+
+from repro.analysis.idioms import Idiom, IDIOM_DESCRIPTIONS, PAPER_TABLE1, PAPER_TABLE1_TOTAL
+from repro.analysis.detector import IdiomDetector, IdiomFinding, analyze_module, analyze_source
+from repro.analysis.corpus import CorpusGenerator, PackageProfile, PACKAGE_PROFILES
+from repro.analysis.report import format_table1, survey_corpus
+
+__all__ = [
+    "Idiom",
+    "IDIOM_DESCRIPTIONS",
+    "PAPER_TABLE1",
+    "PAPER_TABLE1_TOTAL",
+    "IdiomDetector",
+    "IdiomFinding",
+    "analyze_module",
+    "analyze_source",
+    "CorpusGenerator",
+    "PackageProfile",
+    "PACKAGE_PROFILES",
+    "format_table1",
+    "survey_corpus",
+]

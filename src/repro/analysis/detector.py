@@ -1,0 +1,235 @@
+"""IR-level idiom detection.
+
+The detector mirrors the paper's modified LLVM: it inspects the typed IR of a
+compiled module (after optimization, so idioms that a compiler would fold
+away are not counted) and categorises every pointer operation that escapes
+the type-safe ``gep``/``field`` discipline.
+
+Detection rules (documented per idiom):
+
+* **DECONST** — a ``bitcast`` whose attributes record that a ``const``
+  qualifier was dropped.
+* **SUB** — a ``ptrdiff`` (pointer minus pointer), or a ``gep`` whose index
+  is a negative constant that is not part of a container-of pattern.
+* **CONTAINER** — a ``gep`` with a negative constant index whose result is
+  immediately reinterpreted (``bitcast``) as a pointer to a struct: the
+  container_of shape.
+* **II** — a ``gep`` from a stack or global object whose constant index
+  provably lands outside the object.
+* **INT** — a ``ptrtoint`` whose full-width result is stored to memory (and
+  not arithmetically modified first).
+* **IA** — integer arithmetic (other than pure masking) on a value derived
+  from a ``ptrtoint``.
+* **MASK** — ``&``/``|`` of a pointer-derived integer with a constant.
+* **WIDE** — a pointer value narrowed below the pointer width (direct narrow
+  ``ptrtoint`` or a narrowing ``intcast`` of a pointer-derived value).
+
+The counts are indicative rather than exact — the same caveat the paper makes
+about its own machine-assisted categorisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.idioms import Idiom
+from repro.minic.ir import Const, Function, GlobalRef, Instr, Module, Opcode, Temp
+from repro.minic.irgen import compile_source
+from repro.minic.optimizer import optimize_module
+from repro.minic.typesys import IntType, PointerType, StructType
+
+
+@dataclass(frozen=True)
+class IdiomFinding:
+    """One detected idiom instance."""
+
+    idiom: Idiom
+    function: str
+    line: int
+    detail: str = ""
+
+
+@dataclass
+class AnalysisResult:
+    """All findings for one module, with convenience counters."""
+
+    findings: list[IdiomFinding] = field(default_factory=list)
+    lines_of_code: int = 0
+
+    def count(self, idiom: Idiom) -> int:
+        return sum(1 for finding in self.findings if finding.idiom == idiom)
+
+    def counts(self) -> dict[Idiom, int]:
+        out: dict[Idiom, int] = {}
+        for finding in self.findings:
+            out[finding.idiom] = out.get(finding.idiom, 0) + 1
+        return out
+
+    @property
+    def total(self) -> int:
+        return len(self.findings)
+
+
+class IdiomDetector:
+    """Scans a module's IR for the Table 1 idioms."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.result = AnalysisResult(lines_of_code=module.source_line_count)
+
+    # ------------------------------------------------------------------
+
+    def analyze(self) -> AnalysisResult:
+        for function in self.module.functions.values():
+            self._analyze_function(function)
+        return self.result
+
+    # ------------------------------------------------------------------
+
+    def _analyze_function(self, function: Function) -> None:
+        defs: dict[int, Instr] = {
+            instr.dest.index: instr for instr in function.instrs if instr.dest is not None
+        }
+        users: dict[int, list[Instr]] = {}
+        for instr in function.instrs:
+            for arg in instr.args:
+                if isinstance(arg, Temp):
+                    users.setdefault(arg.index, []).append(instr)
+
+        for instr in function.instrs:
+            if instr.op is Opcode.BITCAST and instr.attrs.get("deconst"):
+                self._record(Idiom.DECONST, function, instr, "const qualifier removed by cast")
+            elif instr.op is Opcode.PTRDIFF:
+                self._record(Idiom.SUB, function, instr, "pointer subtraction")
+            elif instr.op is Opcode.GEP:
+                self._analyze_gep(function, instr, users, defs)
+            elif instr.op is Opcode.PTRTOINT:
+                self._analyze_ptrtoint(function, instr, users, defs)
+            elif instr.op is Opcode.INTCAST:
+                self._analyze_intcast(function, instr, defs)
+
+    # ------------------------------------------------------------------
+
+    def _record(self, idiom: Idiom, function: Function, instr: Instr, detail: str) -> None:
+        self.result.findings.append(
+            IdiomFinding(idiom=idiom, function=function.name, line=instr.line, detail=detail)
+        )
+
+    def _analyze_gep(self, function: Function, instr: Instr, users, defs) -> None:
+        index = instr.args[1] if len(instr.args) > 1 else None
+        constant_index = index.value if isinstance(index, Const) else None
+        negated = self._negated_constant(index, defs)
+        if constant_index is None and negated is not None:
+            constant_index = -negated
+        if constant_index is not None and constant_index >= (1 << 63):
+            # An unsigned fold of a negated offset: reinterpret as signed.
+            constant_index -= 1 << 64
+        if constant_index is not None and constant_index < 0:
+            if self._feeds_struct_bitcast(instr, users):
+                self._record(Idiom.CONTAINER, function, instr,
+                             "negative member offset recast to an enclosing struct")
+            else:
+                self._record(Idiom.SUB, function, instr, "pointer moved backwards by a constant")
+            return
+        if constant_index is not None and constant_index > 0:
+            object_size = self._base_object_size(instr.args[0], defs)
+            element_size = instr.attrs.get("element_size", 1)
+            if object_size is not None and constant_index * element_size > object_size:
+                self._record(Idiom.II, function, instr,
+                             f"intermediate {constant_index * element_size} bytes past a "
+                             f"{object_size}-byte object")
+
+    def _analyze_ptrtoint(self, function: Function, instr: Instr, users, defs) -> None:
+        width = instr.attrs.get("target_bytes", 8)
+        pointer_width = self.module.context.pointer_bytes if self.module.context else 8
+        if width < min(pointer_width, 8):
+            self._record(Idiom.WIDE, function, instr,
+                         f"pointer narrowed to a {width}-byte integer")
+            return
+        consumers = users.get(instr.dest.index, []) if instr.dest is not None else []
+        arithmetic = [c for c in consumers if c.op is Opcode.BINOP]
+        stores = [c for c in consumers if c.op is Opcode.STORE and c.args[1:]
+                  and isinstance(c.args[1], Temp) and c.args[1].index == instr.dest.index]
+        for consumer in arithmetic:
+            operator = consumer.attrs.get("operator")
+            other = self._other_operand(consumer, instr.dest.index)
+            if operator in ("&", "|") and isinstance(other, Const):
+                self._record(Idiom.MASK, function, consumer, f"pointer masked with {other.value:#x}")
+            else:
+                self._record(Idiom.IA, function, consumer,
+                             f"integer arithmetic ({operator}) on a pointer value")
+        if stores and not arithmetic:
+            self._record(Idiom.INT, function, stores[0], "pointer stored in an integer variable")
+
+    def _analyze_intcast(self, function: Function, instr: Instr, defs) -> None:
+        source_bytes = instr.attrs.get("source_bytes", 8)
+        target_bytes = instr.attrs.get("target_bytes", 8)
+        if target_bytes >= source_bytes or target_bytes >= 8:
+            return
+        origin = instr.args[0]
+        if isinstance(origin, Temp):
+            producer = defs.get(origin.index)
+            if producer is not None and producer.op is Opcode.PTRTOINT:
+                self._record(Idiom.WIDE, function, instr,
+                             f"pointer-derived value narrowed to {target_bytes} bytes")
+
+    # ------------------------------------------------------------------
+    # small def-use helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _other_operand(instr: Instr, temp_index: int):
+        for arg in instr.args:
+            if not (isinstance(arg, Temp) and arg.index == temp_index):
+                return arg
+        return None
+
+    @staticmethod
+    def _negated_constant(operand, defs) -> int | None:
+        """If ``operand`` is ``neg(constant)``, return the constant."""
+        if isinstance(operand, Temp):
+            producer = defs.get(operand.index)
+            if producer is not None and producer.op is Opcode.UNOP \
+                    and producer.attrs.get("operator") == "neg" \
+                    and producer.args and isinstance(producer.args[0], Const):
+                return producer.args[0].value
+        return None
+
+    def _feeds_struct_bitcast(self, instr: Instr, users) -> bool:
+        if instr.dest is None:
+            return False
+        for consumer in users.get(instr.dest.index, []):
+            if consumer.op is Opcode.BITCAST and isinstance(consumer.ctype, PointerType) \
+                    and isinstance(consumer.ctype.pointee, StructType):
+                return True
+        return False
+
+    def _base_object_size(self, operand, defs) -> int | None:
+        """Size of the object a GEP base refers to, when statically known."""
+        if isinstance(operand, GlobalRef):
+            var = self.module.globals.get(operand.name)
+            if var is not None and self.module.context is not None:
+                return var.ctype.size(self.module.context)
+            return None
+        if isinstance(operand, Temp):
+            producer = defs.get(operand.index)
+            if producer is None:
+                return None
+            if producer.op is Opcode.ALLOCA:
+                return producer.attrs.get("size")
+            if producer.op is Opcode.GEP and producer.attrs.get("decay"):
+                return self._base_object_size(producer.args[0], defs)
+        return None
+
+
+def analyze_module(module: Module) -> AnalysisResult:
+    """Run the detector over an already-compiled module."""
+    return IdiomDetector(module).analyze()
+
+
+def analyze_source(source: str, *, pointer_bytes: int = 8, optimize: bool = True) -> AnalysisResult:
+    """Compile mini-C source and analyze it (the paper's survey pipeline)."""
+    module = compile_source(source, pointer_bytes=pointer_bytes)
+    if optimize:
+        optimize_module(module)
+    return analyze_module(module)

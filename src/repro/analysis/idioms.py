@@ -1,0 +1,116 @@
+"""The idiom taxonomy and the paper's published survey numbers.
+
+The eight idioms are the ones §2 of the paper identifies as "difficult for
+memory-safe implementations to support".  ``PAPER_TABLE1`` records Table 1
+verbatim (counts per package, plus lines of code), so the reproduction's
+survey benchmark can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Idiom(enum.Enum):
+    """The problematic C idioms of Table 1."""
+
+    DECONST = "deconst"
+    CONTAINER = "container"
+    SUB = "sub"
+    II = "ii"
+    INT = "int"
+    IA = "ia"
+    MASK = "mask"
+    WIDE = "wide"
+    LAST_WORD = "last_word"
+
+
+#: column order used by Table 1 and Table 3 in the paper.
+TABLE_IDIOMS = (
+    Idiom.DECONST,
+    Idiom.CONTAINER,
+    Idiom.SUB,
+    Idiom.II,
+    Idiom.INT,
+    Idiom.IA,
+    Idiom.MASK,
+    Idiom.WIDE,
+)
+
+
+IDIOM_DESCRIPTIONS: dict[Idiom, str] = {
+    Idiom.DECONST: "Removing the const qualifier from a pointer",
+    Idiom.CONTAINER: "Recovering a pointer to an enclosing structure from a member pointer "
+                     "(the container_of macro)",
+    Idiom.SUB: "Arbitrary pointer subtraction",
+    Idiom.II: "Pointer arithmetic with out-of-bounds intermediate results",
+    Idiom.INT: "Storing a pointer in an integer variable in memory",
+    Idiom.IA: "Integer arithmetic on pointer values",
+    Idiom.MASK: "Masking pointers (e.g. stashing flags in low bits)",
+    Idiom.WIDE: "Storing a pointer in an integer of a smaller size",
+    Idiom.LAST_WORD: "Word-sized accesses that run past the end of an object "
+                     "(FreeBSD libc strlen optimisation; not found by static analysis)",
+}
+
+
+@dataclass(frozen=True)
+class PackageSurvey:
+    """One row of Table 1."""
+
+    package: str
+    deconst: int
+    container: int
+    sub: int
+    ii: int
+    int_: int
+    ia: int
+    mask: int
+    wide: int
+    loc: int
+
+    def count(self, idiom: Idiom) -> int:
+        mapping = {
+            Idiom.DECONST: self.deconst,
+            Idiom.CONTAINER: self.container,
+            Idiom.SUB: self.sub,
+            Idiom.II: self.ii,
+            Idiom.INT: self.int_,
+            Idiom.IA: self.ia,
+            Idiom.MASK: self.mask,
+            Idiom.WIDE: self.wide,
+        }
+        return mapping.get(idiom, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.count(idiom) for idiom in TABLE_IDIOMS)
+
+
+#: Table 1 of the paper, verbatim.
+PAPER_TABLE1: tuple[PackageSurvey, ...] = (
+    PackageSurvey("ffmpeg", 150, 0, 800, 4, 0, 0, 4, 0, 693_010),
+    PackageSurvey("libX11", 117, 0, 19, 9, 1, 0, 0, 5, 120_386),
+    PackageSurvey("FreeBSD libc", 288, 0, 216, 2, 13, 50, 184, 17, 136_717),
+    PackageSurvey("bash", 43, 0, 207, 11, 0, 0, 15, 4, 109_250),
+    PackageSurvey("libpng", 20, 0, 175, 1, 0, 0, 0, 0, 50_071),
+    PackageSurvey("tcpdump", 579, 0, 9, 1299, 0, 0, 0, 0, 66_555),
+    PackageSurvey("perf", 575, 151, 46, 0, 53, 151, 31, 4, 52_033),
+    PackageSurvey("pmc", 2, 0, 0, 0, 18, 0, 0, 0, 8_886),
+    PackageSurvey("pcre", 98, 0, 52, 0, 0, 0, 0, 0, 70_447),
+    PackageSurvey("python", 494, 0, 358, 1, 109, 0, 131, 8, 383_813),
+    PackageSurvey("wget", 55, 0, 61, 0, 3, 0, 1, 10, 91_710),
+    PackageSurvey("zlib", 4, 0, 24, 0, 0, 0, 0, 0, 21_090),
+    PackageSurvey("zsh", 29, 0, 267, 0, 0, 0, 5, 5, 98_664),
+)
+
+#: The TOTAL row of Table 1.
+PAPER_TABLE1_TOTAL = PackageSurvey("TOTAL", 2491, 151, 2236, 1557, 197, 201, 371, 53, 1_902_632)
+
+
+def paper_row(package: str) -> PackageSurvey:
+    """Look up a Table 1 row by package name."""
+    for row in PAPER_TABLE1:
+        if row.package == package:
+            return row
+    raise KeyError(f"package {package!r} is not part of the paper's survey")

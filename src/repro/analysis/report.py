@@ -1,0 +1,86 @@
+"""Survey execution and Table 1 formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.corpus import CorpusGenerator, PackageProfile
+from repro.analysis.detector import analyze_source
+from repro.analysis.idioms import PAPER_TABLE1, TABLE_IDIOMS, Idiom, PackageSurvey
+
+_COLUMNS = ("DECONST", "CONTAINER", "SUB", "II", "INT", "IA", "MASK", "WIDE")
+
+
+@dataclass
+class SurveyRow:
+    """Measured idiom counts for one synthetic package."""
+
+    package: str
+    counts: dict[Idiom, int] = field(default_factory=dict)
+    expected: dict[Idiom, int] = field(default_factory=dict)
+    lines_of_code: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def expected_total(self) -> int:
+        return sum(self.expected.values())
+
+    def matches_expected(self) -> bool:
+        """True when every measured count equals the planted count."""
+        return all(self.counts.get(idiom, 0) == self.expected.get(idiom, 0)
+                   for idiom in TABLE_IDIOMS)
+
+
+def survey_corpus(*, idiom_scale: float = 0.1, loc_scale: float = 0.01,
+                  packages: tuple[str, ...] | None = None) -> list[SurveyRow]:
+    """Generate the synthetic corpus and run the detector over every package."""
+    rows: list[SurveyRow] = []
+    selected = {name for name in packages} if packages else None
+    for paper in PAPER_TABLE1:
+        if selected is not None and paper.package not in selected:
+            continue
+        profile = PackageProfile(name=paper.package, survey=paper,
+                                 idiom_scale=idiom_scale, loc_scale=loc_scale)
+        source = CorpusGenerator(profile).generate()
+        analysis = analyze_source(source, pointer_bytes=8)
+        row = SurveyRow(
+            package=paper.package,
+            counts={idiom: analysis.count(idiom) for idiom in TABLE_IDIOMS},
+            expected={idiom: profile.scaled_count(idiom) for idiom in TABLE_IDIOMS},
+            lines_of_code=analysis.lines_of_code,
+        )
+        rows.append(row)
+    return rows
+
+
+def format_table1(rows: list[SurveyRow], *, include_paper: bool = True) -> str:
+    """Render the survey results in the layout of the paper's Table 1."""
+    paper_by_name = {row.package: row for row in PAPER_TABLE1}
+    header = f"{'PROGRAM':<14}" + "".join(f"{c:>10}" for c in _COLUMNS) + f"{'LOC':>10}"
+    lines = [header, "-" * len(header)]
+    totals = {idiom: 0 for idiom in TABLE_IDIOMS}
+    paper_totals = {idiom: 0 for idiom in TABLE_IDIOMS}
+    total_loc = 0
+    for row in rows:
+        measured = "".join(f"{row.counts.get(idiom, 0):>10}" for idiom in TABLE_IDIOMS)
+        lines.append(f"{row.package:<14}{measured}{row.lines_of_code:>10}")
+        if include_paper and row.package in paper_by_name:
+            paper: PackageSurvey = paper_by_name[row.package]
+            reference = "".join(f"{paper.count(idiom):>10}" for idiom in TABLE_IDIOMS)
+            lines.append(f"{'  (paper)':<14}{reference}{paper.loc:>10}")
+            for idiom in TABLE_IDIOMS:
+                paper_totals[idiom] += paper.count(idiom)
+        for idiom in TABLE_IDIOMS:
+            totals[idiom] += row.counts.get(idiom, 0)
+        total_loc += row.lines_of_code
+    lines.append("-" * len(header))
+    lines.append(f"{'TOTAL':<14}" + "".join(f"{totals[idiom]:>10}" for idiom in TABLE_IDIOMS)
+                 + f"{total_loc:>10}")
+    if include_paper:
+        lines.append(f"{'TOTAL (paper)':<14}"
+                     + "".join(f"{paper_totals[idiom]:>10}" for idiom in TABLE_IDIOMS)
+                     + f"{sum(r.loc for r in PAPER_TABLE1):>10}")
+    return "\n".join(lines)

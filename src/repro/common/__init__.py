@@ -1,0 +1,70 @@
+"""Shared infrastructure used by every subsystem of the reproduction.
+
+The :mod:`repro.common` package deliberately has no dependencies on the rest
+of the library so that every other package (ISA model, simulator, mini-C
+front end, interpreters, analysis) can import it freely.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    MemorySafetyError,
+    BoundsViolation,
+    TagViolation,
+    PermissionViolation,
+    AlignmentViolation,
+    SimulationError,
+    CompilationError,
+    LexError,
+    ParseError,
+    TypeCheckError,
+    InterpreterError,
+    TrapError,
+    UndefinedBehaviorError,
+)
+from repro.common.bitops import (
+    mask,
+    sign_extend,
+    zero_extend,
+    truncate,
+    to_signed,
+    to_unsigned,
+    align_down,
+    align_up,
+    is_aligned,
+    bit_field,
+    set_bit_field,
+)
+from repro.common.config import CacheConfig, MachineConfig, TimingConfig
+from repro.common.rng import DeterministicRng
+
+__all__ = [
+    "ReproError",
+    "MemorySafetyError",
+    "BoundsViolation",
+    "TagViolation",
+    "PermissionViolation",
+    "AlignmentViolation",
+    "SimulationError",
+    "CompilationError",
+    "LexError",
+    "ParseError",
+    "TypeCheckError",
+    "InterpreterError",
+    "TrapError",
+    "UndefinedBehaviorError",
+    "mask",
+    "sign_extend",
+    "zero_extend",
+    "truncate",
+    "to_signed",
+    "to_unsigned",
+    "align_down",
+    "align_up",
+    "is_aligned",
+    "bit_field",
+    "set_bit_field",
+    "CacheConfig",
+    "MachineConfig",
+    "TimingConfig",
+    "DeterministicRng",
+]

@@ -1,0 +1,73 @@
+"""Fixed-width integer helpers.
+
+The ISA simulator and the abstract machine both model 64-bit two's-complement
+arithmetic on top of Python's arbitrary-precision integers.  These helpers
+centralise the masking and sign manipulation so the rest of the code can read
+like the pseudocode in the CHERI ISA reference.
+"""
+
+from __future__ import annotations
+
+
+def mask(bits: int) -> int:
+    """Return an all-ones mask of ``bits`` bits (``mask(8) == 0xFF``)."""
+    if bits < 0:
+        raise ValueError("bit width must be non-negative")
+    return (1 << bits) - 1
+
+
+def truncate(value: int, bits: int) -> int:
+    """Truncate ``value`` to its low ``bits`` bits (unsigned result)."""
+    return value & mask(bits)
+
+
+def zero_extend(value: int, bits: int) -> int:
+    """Zero-extend a ``bits``-wide value (identical to :func:`truncate`)."""
+    return truncate(value, bits)
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend a ``bits``-wide value to a Python int."""
+    value = truncate(value, bits)
+    sign_bit = 1 << (bits - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_signed(value: int, bits: int = 64) -> int:
+    """Interpret the low ``bits`` bits of ``value`` as a signed integer."""
+    return sign_extend(value, bits)
+
+
+def to_unsigned(value: int, bits: int = 64) -> int:
+    """Interpret ``value`` as an unsigned ``bits``-wide integer."""
+    return truncate(value, bits)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a positive power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    return align_down(value + alignment - 1, alignment)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """Return True when ``value`` is a multiple of ``alignment``."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a positive power of two, got {alignment}")
+    return (value & (alignment - 1)) == 0
+
+
+def bit_field(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``."""
+    return (value >> low) & mask(width)
+
+
+def set_bit_field(value: int, low: int, width: int, field: int) -> int:
+    """Return ``value`` with bits ``[low, low+width)`` replaced by ``field``."""
+    cleared = value & ~(mask(width) << low)
+    return cleared | ((field & mask(width)) << low)

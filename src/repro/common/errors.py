@@ -1,0 +1,130 @@
+"""Exception hierarchy for the whole reproduction.
+
+The hierarchy mirrors the layers of the system:
+
+* :class:`ReproError` — root of everything raised intentionally by the library.
+* :class:`MemorySafetyError` — hardware-style protection traps raised by the
+  capability model, the tagged memory and the abstract-machine memory models
+  (bounds, tag, permission and alignment violations).
+* :class:`CompilationError` — problems in the mini-C front end (lexing,
+  parsing, type checking, IR generation).
+* :class:`SimulationError` / :class:`TrapError` — problems while executing
+  machine code on the ISA simulator.
+* :class:`InterpreterError` / :class:`UndefinedBehaviorError` — problems while
+  executing IR on the abstract-machine interpreter.
+
+Keeping protection traps as a distinct subtree is important: the evaluation
+(Table 3) distinguishes between a program that *runs and produces the right
+answer*, one that *traps* (the memory model rejects the idiom), and one that
+*silently produces a wrong answer* (the model is unsound for the idiom).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception intentionally raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Memory-safety traps (shared by the ISA simulator and the interpreters)
+# ---------------------------------------------------------------------------
+
+
+class MemorySafetyError(ReproError):
+    """A protection violation detected by a memory-safe implementation.
+
+    Instances carry an optional ``address`` and ``capability`` describing the
+    faulting access so that tests and debuggers can assert on the precise
+    cause of the trap.
+    """
+
+    def __init__(self, message: str, *, address: int | None = None, capability=None):
+        super().__init__(message)
+        self.address = address
+        self.capability = capability
+
+
+class BoundsViolation(MemorySafetyError):
+    """An access fell outside the bounds associated with a pointer."""
+
+
+class TagViolation(MemorySafetyError):
+    """A capability with a cleared tag was used for memory access or jump."""
+
+
+class PermissionViolation(MemorySafetyError):
+    """An access requested a permission the capability does not grant."""
+
+
+class AlignmentViolation(MemorySafetyError):
+    """A capability (or capability-sized access) was not naturally aligned."""
+
+
+# ---------------------------------------------------------------------------
+# mini-C front end
+# ---------------------------------------------------------------------------
+
+
+class CompilationError(ReproError):
+    """Base class for all front-end failures.
+
+    ``line`` and ``column`` are 1-based source coordinates when known.
+    """
+
+    def __init__(self, message: str, *, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", col {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class LexError(CompilationError):
+    """The lexer encountered an invalid token."""
+
+
+class ParseError(CompilationError):
+    """The parser encountered a construct outside the mini-C grammar."""
+
+
+class TypeCheckError(CompilationError):
+    """Semantic analysis rejected the program."""
+
+
+# ---------------------------------------------------------------------------
+# ISA simulator
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """The ISA simulator was asked to do something impossible (bad encoding,
+    unknown register, program ran off the end of memory, ...)."""
+
+
+class TrapError(SimulationError):
+    """A synchronous exception raised by an executing instruction.
+
+    ``cause`` is a short symbolic string (e.g. ``"bounds"``, ``"tag"``,
+    ``"permission"``, ``"overflow"``, ``"syscall"``) used by the trap tests.
+    """
+
+    def __init__(self, message: str, *, cause: str = "trap", pc: int | None = None):
+        super().__init__(message)
+        self.cause = cause
+        self.pc = pc
+
+
+# ---------------------------------------------------------------------------
+# Abstract-machine interpreter
+# ---------------------------------------------------------------------------
+
+
+class InterpreterError(ReproError):
+    """The IR interpreter reached an invalid state (bad IR, missing function)."""
+
+
+class UndefinedBehaviorError(InterpreterError):
+    """The interpreted program relied on behaviour the active memory model
+    defines as undefined (the model chose to report rather than continue)."""

@@ -1,0 +1,61 @@
+"""A small deterministic pseudo-random number generator.
+
+Workload generators (packet traces, zlib input files, Olden tree shapes) and
+the synthetic corpus generator all need reproducible randomness that does not
+depend on Python's global :mod:`random` state.  The generator is a 64-bit
+xorshift* — tiny, fast and adequate for workload synthesis.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+
+_MASK64 = mask(64)
+
+
+class DeterministicRng:
+    """xorshift64* PRNG with convenience helpers used by workload generators."""
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15):
+        if seed == 0:
+            seed = 0x9E3779B97F4A7C15
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Advance the generator and return a 64-bit unsigned value."""
+        x = self._state
+        x ^= (x >> 12) & _MASK64
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27) & _MASK64
+        self._state = x & _MASK64
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def randint(self, low: int, high: int) -> int:
+        """Return an integer uniformly distributed in ``[low, high]``."""
+        if high < low:
+            raise ValueError("high must be >= low")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def random(self) -> float:
+        """Return a float in ``[0, 1)``."""
+        return self.next_u64() / float(1 << 64)
+
+    def choice(self, items):
+        """Return a uniformly chosen element of a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.randint(0, len(items) - 1)]
+
+    def bytes(self, count: int) -> bytes:
+        """Return ``count`` pseudo-random bytes."""
+        out = bytearray()
+        while len(out) < count:
+            out.extend(self.next_u64().to_bytes(8, "little"))
+        return bytes(out[:count])
+
+    def shuffle(self, items: list) -> None:
+        """Fisher–Yates shuffle in place."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]

@@ -1,0 +1,38 @@
+"""The paper's primary contribution as a library.
+
+:mod:`repro.core` ties the front end, the memory models, the interpreter and
+the analyses together behind a small public API:
+
+* :class:`~repro.core.api.MemorySafeMachine` — compile and run mini-C under a
+  chosen interpretation of the C abstract machine, with timing;
+* :mod:`repro.core.idiom_cases` — the extracted idiom test cases of §2;
+* :mod:`repro.core.compat` — the idiom-support matrix (Table 3);
+* :mod:`repro.core.porting` — the porting-effort analysis (Table 4).
+"""
+
+from repro.core.api import MemorySafeMachine, run_under_model, compile_for_model
+from repro.core.idiom_cases import IDIOM_TEST_CASES, IdiomTestCase
+from repro.core.compat import (
+    CompatibilityMatrix,
+    Outcome,
+    PAPER_TABLE3,
+    evaluate_matrix,
+    format_table3,
+)
+from repro.core.porting import PortingAnalyzer, PortingReport, format_table4
+
+__all__ = [
+    "MemorySafeMachine",
+    "run_under_model",
+    "compile_for_model",
+    "IDIOM_TEST_CASES",
+    "IdiomTestCase",
+    "CompatibilityMatrix",
+    "Outcome",
+    "PAPER_TABLE3",
+    "evaluate_matrix",
+    "format_table3",
+    "PortingAnalyzer",
+    "PortingReport",
+    "format_table4",
+]

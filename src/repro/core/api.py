@@ -1,0 +1,110 @@
+"""Public facade: compile and run C under a memory-safe abstract machine.
+
+This is the API a downstream user starts from::
+
+    from repro.core import MemorySafeMachine
+
+    machine = MemorySafeMachine(model="cheri_v3")
+    result = machine.run(source_code)
+    assert result.ok
+
+The facade takes care of the one coupling that is easy to get wrong: the
+front end must lay out pointers at the width the memory model uses (8-byte
+integers for the PDP-11-style models, 32-byte capabilities for CHERI), or
+struct offsets and cache behaviour would be meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.detector import AnalysisResult, analyze_module
+from repro.common.config import MachineConfig
+from repro.interp.machine import AbstractMachine, ExecutionResult
+from repro.interp.models import get_model
+from repro.interp.models.base import MemoryModel
+from repro.minic.ir import Module
+from repro.minic.irgen import compile_source
+from repro.minic.optimizer import optimize_module
+
+
+def compile_for_model(source: str, model: MemoryModel | str, *, optimize: bool = True,
+                      source_name: str = "<memory>") -> Module:
+    """Compile mini-C source with the pointer layout the model requires."""
+    resolved = get_model(model) if isinstance(model, str) else model
+    module = compile_source(
+        source,
+        pointer_bytes=resolved.pointer_bytes,
+        pointer_align=resolved.pointer_align,
+        source_name=source_name,
+    )
+    if optimize:
+        optimize_module(module)
+    return module
+
+
+def run_under_model(source: str, model: MemoryModel | str, *, entry: str = "main",
+                    max_instructions: int = 50_000_000,
+                    config: MachineConfig | None = None) -> ExecutionResult:
+    """Compile and execute ``source`` under the given memory model."""
+    resolved = get_model(model) if isinstance(model, str) else model
+    module = compile_for_model(source, resolved)
+    machine = AbstractMachine(module, resolved, config=config, max_instructions=max_instructions)
+    return machine.run(entry)
+
+
+@dataclass
+class ProgramReport:
+    """Execution plus static analysis of one program under one model."""
+
+    result: ExecutionResult
+    analysis: AnalysisResult
+    model_name: str
+
+
+class MemorySafeMachine:
+    """A reusable compile-and-run pipeline bound to one memory model."""
+
+    def __init__(self, model: MemoryModel | str = "cheri_v3", *,
+                 config: MachineConfig | None = None,
+                 max_instructions: int = 50_000_000) -> None:
+        self.model_name = model if isinstance(model, str) else model.name
+        self._model_template = get_model(model) if isinstance(model, str) else model
+        self.config = config
+        self.max_instructions = max_instructions
+
+    # ------------------------------------------------------------------
+
+    def fresh_model(self) -> MemoryModel:
+        """A new model instance (models carry per-run trap counters)."""
+        return get_model(self.model_name,
+                         **({"capability_bytes": self._model_template.pointer_bytes}
+                            if self.model_name.startswith("cheri") else {}))
+
+    def compile(self, source: str, *, optimize: bool = True) -> Module:
+        return compile_for_model(source, self._model_template, optimize=optimize)
+
+    def run(self, source: str, *, entry: str = "main") -> ExecutionResult:
+        """Compile and run a program, returning its :class:`ExecutionResult`."""
+        module = self.compile(source)
+        machine = AbstractMachine(module, self.fresh_model(), config=self.config,
+                                  max_instructions=self.max_instructions)
+        return machine.run(entry)
+
+    def run_module(self, module: Module, *, entry: str = "main") -> ExecutionResult:
+        """Run an already-compiled module (must match this model's layout)."""
+        machine = AbstractMachine(module, self.fresh_model(), config=self.config,
+                                  max_instructions=self.max_instructions)
+        return machine.run(entry)
+
+    def analyze(self, source: str) -> AnalysisResult:
+        """Static idiom analysis of a program (independent of execution)."""
+        return analyze_module(self.compile(source))
+
+    def report(self, source: str, *, entry: str = "main") -> ProgramReport:
+        """Run and analyze in one step."""
+        module = self.compile(source)
+        machine = AbstractMachine(module, self.fresh_model(), config=self.config,
+                                  max_instructions=self.max_instructions)
+        return ProgramReport(result=machine.run(entry), analysis=analyze_module(module),
+                             model_name=self.model_name)

@@ -1,0 +1,148 @@
+"""The idiom-support matrix (Table 3).
+
+``evaluate_matrix`` runs every extracted idiom test case under every memory
+model and classifies the outcome:
+
+* **yes**   — the program ran to completion and produced the answer the
+  PDP-11-model programmer expected;
+* **no (trap)**  — the model rejected the idiom with a protection trap;
+* **no (wrong)** — the program ran but silently produced a different answer
+  (the idiom is unsupported *and* undetected — the worst cell to be in).
+
+``PAPER_TABLE3`` records the published matrix; entries in parentheses in the
+paper (supported with caveats, e.g. only through ``intcap_t``) are treated as
+"yes" for comparison, with the caveat carried in the model's
+``int_roundtrip_note``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.idioms import Idiom
+from repro.core.api import run_under_model
+from repro.core.idiom_cases import IDIOM_TEST_CASES
+from repro.interp.models import PAPER_MODEL_ORDER, get_model
+
+
+class Outcome(enum.Enum):
+    """Result of running one idiom test case under one model."""
+
+    SUPPORTED = "yes"
+    TRAPPED = "no (trap)"
+    WRONG = "no (wrong)"
+
+    @property
+    def supported(self) -> bool:
+        return self is Outcome.SUPPORTED
+
+
+#: Table 3 of the paper: does each model support each idiom?  ``True`` covers
+#: both "yes" and "(yes)" entries; WIDE is unsupported everywhere.
+PAPER_TABLE3: dict[str, dict[Idiom, bool]] = {
+    "pdp11": {
+        Idiom.DECONST: True, Idiom.CONTAINER: True, Idiom.SUB: True, Idiom.II: True,
+        Idiom.INT: True, Idiom.IA: True, Idiom.MASK: True, Idiom.WIDE: False,
+    },
+    "hardbound": {
+        Idiom.DECONST: True, Idiom.CONTAINER: True, Idiom.SUB: True, Idiom.II: True,
+        Idiom.INT: True, Idiom.IA: False, Idiom.MASK: False, Idiom.WIDE: False,
+    },
+    "mpx": {
+        Idiom.DECONST: True, Idiom.CONTAINER: False, Idiom.SUB: True, Idiom.II: True,
+        Idiom.INT: True, Idiom.IA: True, Idiom.MASK: True, Idiom.WIDE: False,
+    },
+    "relaxed": {
+        Idiom.DECONST: True, Idiom.CONTAINER: True, Idiom.SUB: True, Idiom.II: True,
+        Idiom.INT: True, Idiom.IA: True, Idiom.MASK: True, Idiom.WIDE: False,
+    },
+    "strict": {
+        Idiom.DECONST: True, Idiom.CONTAINER: True, Idiom.SUB: True, Idiom.II: True,
+        Idiom.INT: True, Idiom.IA: False, Idiom.MASK: False, Idiom.WIDE: False,
+    },
+    "cheri_v2": {
+        Idiom.DECONST: False, Idiom.CONTAINER: False, Idiom.SUB: False, Idiom.II: False,
+        Idiom.INT: True, Idiom.IA: False, Idiom.MASK: False, Idiom.WIDE: False,
+    },
+    "cheri_v3": {
+        Idiom.DECONST: True, Idiom.CONTAINER: True, Idiom.SUB: True, Idiom.II: True,
+        Idiom.INT: True, Idiom.IA: True, Idiom.MASK: True, Idiom.WIDE: False,
+    },
+}
+
+#: display names used when printing Table 3.
+MODEL_DISPLAY_NAMES = {
+    "pdp11": "x86/MIPS/PDP-11",
+    "hardbound": "HardBound",
+    "mpx": "Intel MPX",
+    "relaxed": "Relaxed",
+    "strict": "Strict",
+    "cheri_v2": "CHERIv2",
+    "cheri_v3": "CHERIv3",
+}
+
+
+@dataclass
+class CompatibilityMatrix:
+    """Measured outcomes: ``outcomes[model][idiom]``."""
+
+    outcomes: dict[str, dict[Idiom, Outcome]] = field(default_factory=dict)
+
+    def supported(self, model: str, idiom: Idiom) -> bool:
+        return self.outcomes[model][idiom].supported
+
+    def matches_paper(self) -> bool:
+        """True when every cell agrees with the paper's Table 3."""
+        return not self.differences()
+
+    def differences(self) -> list[tuple[str, Idiom, bool, bool]]:
+        """Cells where measured support disagrees with the paper."""
+        out = []
+        for model, expected_row in PAPER_TABLE3.items():
+            for idiom, expected in expected_row.items():
+                measured = self.supported(model, idiom)
+                if measured != expected:
+                    out.append((model, idiom, expected, measured))
+        return out
+
+
+def evaluate_case(model_name: str, source: str) -> Outcome:
+    """Run one test case under one model and classify the result."""
+    result = run_under_model(source, model_name)
+    if result.trapped:
+        return Outcome.TRAPPED
+    if result.exit_code == 0:
+        return Outcome.SUPPORTED
+    return Outcome.WRONG
+
+
+def evaluate_matrix(models: tuple[str, ...] | None = None) -> CompatibilityMatrix:
+    """Run every idiom test case under every model (the Table 3 experiment)."""
+    matrix = CompatibilityMatrix()
+    for model_name in models or PAPER_MODEL_ORDER:
+        row: dict[Idiom, Outcome] = {}
+        for case in IDIOM_TEST_CASES:
+            row[case.idiom] = evaluate_case(model_name, case.source)
+        matrix.outcomes[model_name] = row
+    return matrix
+
+
+def format_table3(matrix: CompatibilityMatrix, *, include_paper: bool = True) -> str:
+    """Render the matrix in the layout of the paper's Table 3."""
+    idioms = [case.idiom for case in IDIOM_TEST_CASES]
+    header = f"{'MODEL':<18}" + "".join(f"{idiom.name:>11}" for idiom in idioms)
+    lines = [header, "-" * len(header)]
+    for model_name in matrix.outcomes:
+        display = MODEL_DISPLAY_NAMES.get(model_name, model_name)
+        cells = []
+        for idiom in idioms:
+            outcome = matrix.outcomes[model_name][idiom]
+            note = get_model(model_name).int_roundtrip_note if idiom is Idiom.INT else ""
+            text = "(yes)" if (outcome.supported and note) else outcome.value
+            cells.append(f"{text:>11}")
+        lines.append(f"{display:<18}" + "".join(cells))
+        if include_paper and model_name in PAPER_TABLE3:
+            expected = ["yes" if PAPER_TABLE3[model_name][idiom] else "no" for idiom in idioms]
+            lines.append(f"{'  (paper)':<18}" + "".join(f"{text:>11}" for text in expected))
+    return "\n".join(lines)

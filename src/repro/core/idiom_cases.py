@@ -1,0 +1,175 @@
+"""Extracted idiom test cases (paper §2 / §5.1).
+
+The paper's methodology: categorise the problematic idioms found in the
+corpus, extract a small self-contained test case for each, and run the test
+cases under every candidate interpretation of the C abstract machine.  Each
+:class:`IdiomTestCase` here is such a program — it returns 0 from ``main``
+when the idiom behaved the way PDP-11-model code expects, a non-zero exit
+status when it silently misbehaved, and traps when the model rejects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.idioms import Idiom
+
+
+@dataclass(frozen=True)
+class IdiomTestCase:
+    """One extracted test case: a program plus a description."""
+
+    idiom: Idiom
+    name: str
+    description: str
+    source: str
+
+
+DECONST_CASE = IdiomTestCase(
+    idiom=Idiom.DECONST,
+    name="deconst",
+    description="Cast away const and write through the resulting pointer",
+    source=r"""
+int set_first(char *p) { p[0] = 'x'; return 0; }
+
+int main(void) {
+    char buf[4];
+    buf[0] = 'a';
+    const char *cp = buf;          /* implicit const qualification */
+    set_first((char *)cp);         /* const removed again */
+    return buf[0] == 'x' ? 0 : 1;
+}
+""",
+)
+
+CONTAINER_CASE = IdiomTestCase(
+    idiom=Idiom.CONTAINER,
+    name="container",
+    description="container_of: recover the enclosing struct from a member pointer",
+    source=r"""
+struct outer { long head; int tail; };
+
+int main(void) {
+    struct outer o;
+    o.head = 5;
+    o.tail = 7;
+    int *tp = &o.tail;
+    struct outer *op = (struct outer *)((char *)tp - offsetof(struct outer, tail));
+    return op->head == 5 ? 0 : 1;
+}
+""",
+)
+
+SUB_CASE = IdiomTestCase(
+    idiom=Idiom.SUB,
+    name="sub",
+    description="Arbitrary pointer subtraction (pointer-minus-int and pointer difference)",
+    source=r"""
+int main(void) {
+    char buf[16];
+    char *end = buf + 16;
+    char *p = end - 16;            /* pointer minus integer */
+    long n = end - buf;            /* pointer difference */
+    p[0] = 1;
+    return (n == 16 && buf[0] == 1) ? 0 : 1;
+}
+""",
+)
+
+II_CASE = IdiomTestCase(
+    idiom=Idiom.II,
+    name="ii",
+    description="Out-of-bounds intermediate value that returns in bounds before dereference",
+    source=r"""
+int main(void) {
+    int arr[8];
+    int *p = arr;
+    p = p + 12;                    /* 16 bytes past the end */
+    p = p - 8;                     /* back inside */
+    *p = 3;
+    return arr[4] == 3 ? 0 : 1;
+}
+""",
+)
+
+INT_CASE = IdiomTestCase(
+    idiom=Idiom.INT,
+    name="int",
+    description="Store a pointer in an integer variable in memory and recover it",
+    source=r"""
+int main(void) {
+    int x = 42;
+    int *p = &x;
+    intptr_t ip = (intptr_t)p;     /* stored in an integer object */
+    int *q = (int *)ip;
+    return *q == 42 ? 0 : 1;
+}
+""",
+)
+
+IA_CASE = IdiomTestCase(
+    idiom=Idiom.IA,
+    name="ia",
+    description="Integer arithmetic on a pointer value, then dereference",
+    source=r"""
+int main(void) {
+    int arr[4];
+    arr[2] = 9;
+    intptr_t base = (intptr_t)arr;
+    intptr_t addr = base + 2 * sizeof(int);
+    int *p = (int *)addr;
+    return *p == 9 ? 0 : 1;
+}
+""",
+)
+
+MASK_CASE = IdiomTestCase(
+    idiom=Idiom.MASK,
+    name="mask",
+    description="Stash flags in the low bits of a pointer, mask them off, dereference",
+    source=r"""
+int main(void) {
+    long x[2];
+    x[0] = 7;
+    intptr_t p = (intptr_t)x;
+    p = p | 1;                      /* tag bit in the low bit */
+    intptr_t q = p & ~(intptr_t)1;  /* strip the tag */
+    long *lp = (long *)q;
+    return (*lp == 7 && (p & 1) == 1) ? 0 : 1;
+}
+""",
+)
+
+WIDE_CASE = IdiomTestCase(
+    idiom=Idiom.WIDE,
+    name="wide",
+    description="Store a pointer in a 32-bit integer (assumes sizeof(int) == sizeof(void *))",
+    source=r"""
+int main(void) {
+    int x = 5;
+    unsigned int small = (unsigned int)(intptr_t)&x;
+    int *p = (int *)(intptr_t)small;
+    return *p == 5 ? 0 : 1;
+}
+""",
+)
+
+
+#: The eight extracted test cases in Table 3 column order.
+IDIOM_TEST_CASES: tuple[IdiomTestCase, ...] = (
+    DECONST_CASE,
+    CONTAINER_CASE,
+    SUB_CASE,
+    II_CASE,
+    INT_CASE,
+    IA_CASE,
+    MASK_CASE,
+    WIDE_CASE,
+)
+
+
+def case_for(idiom: Idiom) -> IdiomTestCase:
+    for case in IDIOM_TEST_CASES:
+        if case.idiom == idiom:
+            return case
+    raise KeyError(f"no extracted test case for idiom {idiom}")

@@ -1,0 +1,14 @@
+"""Capability-aware garbage collection (paper §4.2).
+
+"We have implemented a relocating generational garbage collector for CHERIv3
+that uses the tagged memory to differentiate between capabilities and other
+data."  This package reproduces that collector against the abstract machine:
+because every pointer stored to memory leaves a tagged shadow entry, the
+collector can identify *exactly* which words are pointers — no conservative
+scanning, no integer-hoarded garbage (§3.6) — and can therefore relocate
+objects and rewrite the capabilities that refer to them.
+"""
+
+from repro.gc.collector import CapabilityGarbageCollector, CollectionStats
+
+__all__ = ["CapabilityGarbageCollector", "CollectionStats"]

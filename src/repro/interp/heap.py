@@ -1,0 +1,176 @@
+"""Object allocator for the abstract machine.
+
+The C abstract machine divides memory into *objects* — regions with an
+associated type and lifetime (§3.1.2).  The allocator owns a flat 64-bit
+virtual address space, carves objects out of three regions (globals, heap,
+stack) and remembers every allocation so that:
+
+* capability models can attach per-object bounds to pointers;
+* the Relaxed interpreter can map an address back to the containing object
+  when reconstructing a pointer from an integer;
+* temporal errors (use-after-free) are detectable, and the garbage collector
+  (:mod:`repro.gc`) can enumerate live objects.
+
+Addresses are deliberately placed **above 4 GiB** so that the WIDE idiom
+(storing a pointer in a 32-bit integer) genuinely loses information, exactly
+as it does on modern 64-bit platforms — the paper notes this idiom is already
+broken everywhere and observes how rare it has become.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.common.bitops import align_up
+from repro.common.errors import InterpreterError
+
+#: Default region bases (all above 2**32; see module docstring).
+GLOBAL_BASE = 0x1_0000_0000
+HEAP_BASE = 0x1_4000_0000
+STACK_BASE = 0x1_8000_0000
+
+
+@dataclass
+class HeapObject:
+    """One allocation: a C object with identity, bounds and lifetime."""
+
+    uid: int
+    base: int
+    size: int
+    kind: str  # 'global' | 'heap' | 'stack' | 'string'
+    name: str = ""
+    freed: bool = False
+    #: set by the garbage collector when the object is relocated.
+    forwarded_to: int | None = None
+
+    @property
+    def top(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.top
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        state = "freed" if self.freed else "live"
+        return f"obj#{self.uid} {self.kind} [{self.base:#x},{self.top:#x}) {state} {self.name}"
+
+
+class ObjectAllocator:
+    """Bump allocators for the global, heap and stack regions.
+
+    Stack allocations are grouped into frames so that returning from a
+    function retires every object the frame created (their addresses become
+    invalid, which is how the models detect dangling stack pointers).
+    """
+
+    def __init__(
+        self,
+        *,
+        global_base: int = GLOBAL_BASE,
+        heap_base: int = HEAP_BASE,
+        stack_base: int = STACK_BASE,
+        alignment: int = 16,
+    ) -> None:
+        self._next = {"global": global_base, "heap": heap_base, "stack": stack_base}
+        self._alignment = alignment
+        self._uid = 0
+        self.objects: dict[int, HeapObject] = {}
+        self._bases: list[int] = []
+        self._by_base: dict[int, HeapObject] = {}
+        self._frames: list[tuple[int, list[HeapObject]]] = []
+        self.bytes_allocated = 0
+        self.allocation_count = 0
+
+    # ------------------------------------------------------------------
+
+    def _allocate(self, size: int, kind: str, name: str = "", *, alignment: int | None = None) -> HeapObject:
+        if size < 0:
+            raise InterpreterError(f"allocation of negative size {size}")
+        size = max(size, 1)
+        alignment = alignment or self._alignment
+        region = "global" if kind in ("global", "string") else kind
+        base = align_up(self._next[region], alignment)
+        self._next[region] = base + align_up(size, self._alignment)
+        self._uid += 1
+        obj = HeapObject(uid=self._uid, base=base, size=size, kind=kind, name=name)
+        self.objects[obj.uid] = obj
+        bisect.insort(self._bases, base)
+        self._by_base[base] = obj
+        self.bytes_allocated += size
+        self.allocation_count += 1
+        return obj
+
+    def allocate_global(self, size: int, name: str, *, alignment: int | None = None) -> HeapObject:
+        return self._allocate(size, "global", name, alignment=alignment)
+
+    def allocate_string(self, size: int, name: str) -> HeapObject:
+        return self._allocate(size, "string", name)
+
+    def allocate_heap(self, size: int, *, alignment: int | None = None) -> HeapObject:
+        return self._allocate(size, "heap", alignment=alignment)
+
+    def allocate_stack(self, size: int, name: str = "", *, alignment: int | None = None) -> HeapObject:
+        obj = self._allocate(size, "stack", name, alignment=alignment)
+        if self._frames:
+            self._frames[-1][1].append(obj)
+        return obj
+
+    # ------------------------------------------------------------------
+    # Stack frame lifetime
+    # ------------------------------------------------------------------
+
+    def push_frame(self) -> None:
+        """Open a call frame, remembering the stack cursor so it can be reused."""
+        self._frames.append((self._next["stack"], []))
+
+    def pop_frame(self) -> None:
+        """Close the current frame.
+
+        Every object the frame allocated is retired (so dangling pointers to
+        it trap) and removed from the address index, and the stack cursor is
+        rewound — subsequent calls reuse the same addresses, exactly as a real
+        call stack does.  Without the rewind every call would touch cold cache
+        lines and the timing model would overstate stack traffic.
+        """
+        if not self._frames:
+            raise InterpreterError("pop_frame with no active frame")
+        saved_cursor, objects = self._frames.pop()
+        for obj in objects:
+            obj.freed = True
+            self._by_base.pop(obj.base, None)
+            index = bisect.bisect_left(self._bases, obj.base)
+            if index < len(self._bases) and self._bases[index] == obj.base:
+                del self._bases[index]
+        self._next["stack"] = saved_cursor
+
+    # ------------------------------------------------------------------
+    # Heap lifetime
+    # ------------------------------------------------------------------
+
+    def free(self, obj: HeapObject) -> None:
+        if obj.kind != "heap":
+            raise InterpreterError(f"free() of non-heap object {obj}")
+        if obj.freed:
+            raise InterpreterError(f"double free of {obj}")
+        obj.freed = True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def find(self, address: int) -> HeapObject | None:
+        """Find the live object containing ``address`` (Relaxed-model lookup)."""
+        index = bisect.bisect_right(self._bases, address) - 1
+        if index < 0:
+            return None
+        obj = self._by_base[self._bases[index]]
+        if obj.contains(address) and not obj.freed:
+            return obj
+        return None
+
+    def live_objects(self) -> list[HeapObject]:
+        return [obj for obj in self.objects.values() if not obj.freed]
+
+    def live_heap_bytes(self) -> int:
+        return sum(obj.size for obj in self.objects.values() if obj.kind == "heap" and not obj.freed)

@@ -1,0 +1,357 @@
+"""The intrinsic C library provided by the abstract machine.
+
+mini-C has no headers; these functions are implemented directly against the
+machine (the way ``malloc`` itself must live partly outside the C abstract
+machine, §2 of the paper).  Each intrinsic receives the running
+:class:`~repro.interp.machine.AbstractMachine`, the evaluated argument values
+and the expected result type, and returns a runtime value.
+
+Memory-touching intrinsics go through the machine's checked access helpers,
+so they are subject to the active memory model exactly like compiled code —
+``memcpy`` in particular copies pointer metadata the way tagged memory
+would, which is what lets capability-oblivious copies move pointers around
+without laundering them into forgeable integers.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import InterpreterError, UndefinedBehaviorError
+from repro.interp.values import IntVal, PtrVal
+
+
+class ExitProgram(Exception):
+    """Raised by ``exit``/``abort`` to unwind the interpreter."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+def _as_int(value) -> int:
+    if isinstance(value, IntVal):
+        return value.value
+    if isinstance(value, PtrVal):
+        return value.address
+    raise InterpreterError(f"expected an integer argument, got {value!r}")
+
+
+def _as_size(value) -> int:
+    if isinstance(value, IntVal):
+        return value.unsigned
+    if isinstance(value, PtrVal):
+        return value.address
+    raise InterpreterError(f"expected a size argument, got {value!r}")
+
+
+def _as_ptr(machine, value) -> PtrVal:
+    if isinstance(value, PtrVal):
+        return value
+    if isinstance(value, IntVal):
+        return machine.model.int_to_ptr(value, machine.allocator)
+    raise InterpreterError(f"expected a pointer argument, got {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Allocation
+# ---------------------------------------------------------------------------
+
+
+def _malloc(machine, args, result_type):
+    size = _as_size(args[0])
+    return machine.heap_allocate(size)
+
+
+def _calloc(machine, args, result_type):
+    count = _as_size(args[0])
+    size = _as_size(args[1])
+    return machine.heap_allocate(count * size)  # memory starts zeroed
+
+
+def _free(machine, args, result_type):
+    pointer = _as_ptr(machine, args[0])
+    if pointer.is_null:
+        return None
+    machine.heap_free(pointer)
+    return None
+
+
+def _realloc(machine, args, result_type):
+    pointer = _as_ptr(machine, args[0])
+    new_size = _as_size(args[1])
+    new_ptr = machine.heap_allocate(new_size)
+    if not pointer.is_null and pointer.obj is not None:
+        old_size = pointer.obj.size
+        machine.copy_memory(new_ptr, pointer, min(old_size, new_size))
+        machine.heap_free(pointer)
+    return new_ptr
+
+
+# ---------------------------------------------------------------------------
+# Memory operations
+# ---------------------------------------------------------------------------
+
+
+def _memcpy(machine, args, result_type):
+    dst = _as_ptr(machine, args[0])
+    src = _as_ptr(machine, args[1])
+    length = _as_size(args[2])
+    machine.copy_memory(dst, src, length)
+    return dst
+
+
+def _memmove(machine, args, result_type):
+    return _memcpy(machine, args, result_type)
+
+
+def _memset(machine, args, result_type):
+    dst = _as_ptr(machine, args[0])
+    byte = _as_int(args[1]) & 0xFF
+    length = _as_size(args[2])
+    machine.write_checked_bytes(dst, bytes([byte]) * length)
+    return dst
+
+
+def _memcmp(machine, args, result_type):
+    a = machine.read_checked_bytes(_as_ptr(machine, args[0]), _as_size(args[2]))
+    b = machine.read_checked_bytes(_as_ptr(machine, args[1]), _as_size(args[2]))
+    if a == b:
+        return IntVal(0, bytes=4)
+    return IntVal(-1 if a < b else 1, bytes=4)
+
+
+def _memchr(machine, args, result_type):
+    pointer = _as_ptr(machine, args[0])
+    needle = _as_int(args[1]) & 0xFF
+    length = _as_size(args[2])
+    data = machine.read_checked_bytes(pointer, length)
+    index = data.find(bytes([needle]))
+    if index < 0:
+        return machine.model.null_pointer()
+    return machine.model.ptr_offset(pointer, index)
+
+
+# ---------------------------------------------------------------------------
+# Strings
+# ---------------------------------------------------------------------------
+
+
+def _strlen(machine, args, result_type):
+    return IntVal(len(machine.read_cstring(_as_ptr(machine, args[0]))), bytes=8, signed=False)
+
+
+def _strcmp(machine, args, result_type):
+    a = machine.read_cstring(_as_ptr(machine, args[0]))
+    b = machine.read_cstring(_as_ptr(machine, args[1]))
+    if a == b:
+        return IntVal(0, bytes=4)
+    return IntVal(-1 if a < b else 1, bytes=4)
+
+
+def _strncmp(machine, args, result_type):
+    limit = _as_size(args[2])
+    a = machine.read_cstring(_as_ptr(machine, args[0]))[:limit]
+    b = machine.read_cstring(_as_ptr(machine, args[1]))[:limit]
+    if a == b:
+        return IntVal(0, bytes=4)
+    return IntVal(-1 if a < b else 1, bytes=4)
+
+
+def _strcpy(machine, args, result_type):
+    dst = _as_ptr(machine, args[0])
+    text = machine.read_cstring(_as_ptr(machine, args[1]))
+    machine.write_checked_bytes(dst, text + b"\x00")
+    return dst
+
+
+def _strncpy(machine, args, result_type):
+    dst = _as_ptr(machine, args[0])
+    limit = _as_size(args[2])
+    text = machine.read_cstring(_as_ptr(machine, args[1]))[:limit]
+    padded = text + b"\x00" * (limit - len(text))
+    machine.write_checked_bytes(dst, padded[:limit])
+    return dst
+
+
+def _strchr(machine, args, result_type):
+    pointer = _as_ptr(machine, args[0])
+    needle = _as_int(args[1]) & 0xFF
+    text = machine.read_cstring(pointer) + b"\x00"
+    index = text.find(bytes([needle]))
+    if index < 0:
+        return machine.model.null_pointer()
+    return machine.model.ptr_offset(pointer, index)
+
+
+def _strcat(machine, args, result_type):
+    dst = _as_ptr(machine, args[0])
+    existing = machine.read_cstring(dst)
+    suffix = machine.read_cstring(_as_ptr(machine, args[1]))
+    tail = machine.model.ptr_offset(dst, len(existing))
+    machine.write_checked_bytes(tail, suffix + b"\x00")
+    return dst
+
+
+# ---------------------------------------------------------------------------
+# Formatted output
+# ---------------------------------------------------------------------------
+
+
+def _format(machine, template: bytes, args: list) -> bytes:
+    out = bytearray()
+    arg_index = 0
+    i = 0
+    while i < len(template):
+        ch = template[i : i + 1]
+        if ch != b"%":
+            out += ch
+            i += 1
+            continue
+        # scan the conversion specification (flags/width/length are accepted
+        # and mostly ignored; mini-C output is for checking, not typesetting)
+        j = i + 1
+        spec = b""
+        while j < len(template) and template[j : j + 1] in b"-+ 0123456789.lzh":
+            spec += template[j : j + 1]
+            j += 1
+        conv = template[j : j + 1]
+        i = j + 1
+        if conv == b"%":
+            out += b"%"
+            continue
+        if arg_index >= len(args):
+            out += b"%" + spec + conv
+            continue
+        value = args[arg_index]
+        arg_index += 1
+        if conv in (b"d", b"i"):
+            out += str(_as_int(value)).encode()
+        elif conv == b"u":
+            out += str(_as_size(value)).encode()
+        elif conv in (b"x", b"X"):
+            text = format(_as_size(value), "x")
+            out += (text.upper() if conv == b"X" else text).encode()
+        elif conv == b"c":
+            out += bytes([_as_int(value) & 0xFF])
+        elif conv == b"s":
+            out += machine.read_cstring(_as_ptr(machine, value))
+        elif conv == b"p":
+            out += format(_as_size(value), "#x").encode()
+        else:
+            out += b"%" + spec + conv
+    return bytes(out)
+
+
+def _printf(machine, args, result_type):
+    template = machine.read_cstring(_as_ptr(machine, args[0]))
+    text = _format(machine, template, args[1:])
+    machine.emit_output(text)
+    return IntVal(len(text), bytes=4)
+
+
+def _sprintf(machine, args, result_type):
+    dst = _as_ptr(machine, args[0])
+    template = machine.read_cstring(_as_ptr(machine, args[1]))
+    text = _format(machine, template, args[2:])
+    machine.write_checked_bytes(dst, text + b"\x00")
+    return IntVal(len(text), bytes=4)
+
+
+def _snprintf(machine, args, result_type):
+    dst = _as_ptr(machine, args[0])
+    limit = _as_size(args[1])
+    template = machine.read_cstring(_as_ptr(machine, args[2]))
+    text = _format(machine, template, args[3:])
+    clipped = text[: max(limit - 1, 0)]
+    if limit > 0:
+        machine.write_checked_bytes(dst, clipped + b"\x00")
+    return IntVal(len(text), bytes=4)
+
+
+def _putchar(machine, args, result_type):
+    machine.emit_output(bytes([_as_int(args[0]) & 0xFF]))
+    return IntVal(_as_int(args[0]), bytes=4)
+
+
+def _puts(machine, args, result_type):
+    machine.emit_output(machine.read_cstring(_as_ptr(machine, args[0])) + b"\n")
+    return IntVal(0, bytes=4)
+
+
+# ---------------------------------------------------------------------------
+# Miscellaneous
+# ---------------------------------------------------------------------------
+
+
+def _abs(machine, args, result_type):
+    return IntVal(abs(_as_int(args[0])), bytes=4)
+
+
+def _labs(machine, args, result_type):
+    return IntVal(abs(_as_int(args[0])), bytes=8)
+
+
+def _exit(machine, args, result_type):
+    raise ExitProgram(_as_int(args[0]) if args else 0)
+
+
+def _abort(machine, args, result_type):
+    raise ExitProgram(134)
+
+
+def _assert(machine, args, result_type):
+    if not _as_int(args[0]):
+        raise UndefinedBehaviorError("assertion failed in interpreted program")
+    return None
+
+
+def _rand(machine, args, result_type):
+    return IntVal(machine.rng.randint(0, 0x7FFFFFFF), bytes=4)
+
+
+def _srand(machine, args, result_type):
+    machine.reseed(_as_int(args[0]))
+    return None
+
+
+def _mini_output_int(machine, args, result_type):
+    machine.emit_output(str(_as_int(args[0])).encode() + b"\n")
+    return None
+
+
+def _mini_checkpoint(machine, args, result_type):
+    machine.checkpoints.append(_as_int(args[0]))
+    return None
+
+
+INTRINSICS = {
+    "malloc": _malloc,
+    "calloc": _calloc,
+    "free": _free,
+    "realloc": _realloc,
+    "memcpy": _memcpy,
+    "memmove": _memmove,
+    "memset": _memset,
+    "memcmp": _memcmp,
+    "memchr": _memchr,
+    "strlen": _strlen,
+    "strcmp": _strcmp,
+    "strncmp": _strncmp,
+    "strcpy": _strcpy,
+    "strncpy": _strncpy,
+    "strchr": _strchr,
+    "strcat": _strcat,
+    "printf": _printf,
+    "sprintf": _sprintf,
+    "snprintf": _snprintf,
+    "putchar": _putchar,
+    "puts": _puts,
+    "abs": _abs,
+    "labs": _labs,
+    "exit": _exit,
+    "abort": _abort,
+    "assert": _assert,
+    "rand": _rand,
+    "srand": _srand,
+    "mini_output_int": _mini_output_int,
+    "mini_checkpoint": _mini_checkpoint,
+}

@@ -1,0 +1,632 @@
+"""The abstract-machine interpreter.
+
+:class:`AbstractMachine` executes a mini-C IR :class:`~repro.minic.ir.Module`
+over a flat 64-bit address space, delegating every pointer decision to the
+configured :class:`~repro.interp.models.base.MemoryModel` and feeding every
+data access through the evaluation platform's cache model so that runs are
+comparable in *simulated cycles*.
+
+Key mechanisms:
+
+* **Objects and addresses.**  Globals, string literals, heap allocations and
+  stack slots are all :class:`~repro.interp.heap.HeapObject` allocations; the
+  bytes live in a sparse :class:`~repro.sim.memory.TaggedMemory`.
+* **Pointers in memory.**  When a pointer (or a pointer-sized integer that
+  carries provenance) is stored, the raw 64-bit address is written to memory
+  and the full runtime value is remembered in a *shadow table* keyed by the
+  store address.  Whether that shadow survives data overwrites (tagged
+  memory) or lives in a separate look-aside table (HardBound/MPX), and how a
+  load reconciles the raw bytes with the shadow entry, is the memory model's
+  decision — this is where the INT/IA/MASK rows of Table 3 come from.
+* **Timing.**  Every instruction costs one cycle (calls and branches a little
+  more) and every memory access adds the cache hierarchy's latency.  The only
+  difference between ABIs is the size and alignment of pointers, which is the
+  paper's architectural story for Figures 1–4.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.common.config import MachineConfig, TimingConfig
+from repro.common.errors import InterpreterError, MemorySafetyError, UndefinedBehaviorError
+from repro.common.rng import DeterministicRng
+from repro.interp.heap import ObjectAllocator
+from repro.interp.intrinsics import INTRINSICS, ExitProgram
+from repro.interp.models import get_model
+from repro.interp.models.base import MemoryModel
+from repro.interp.values import IntVal, PERM_ALL, Provenance, PtrVal
+from repro.minic.ir import Const, Function, GlobalRef, Instr, Module, Opcode, Temp
+from repro.minic.typesys import ArrayType, CType, IntType, PointerType, Qualifiers, StructType
+from repro.sim.cache import MemoryHierarchy
+from repro.sim.memory import TaggedMemory
+
+#: size of the flat virtual address space backing the interpreter.
+_ADDRESS_SPACE = 1 << 40
+
+# Interpreted calls recurse through a handful of Python frames each; deep
+# (but bounded) workload recursion such as the Olden tree kernels needs more
+# headroom than CPython's default limit provides.
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 20_000))
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a program on the abstract machine."""
+
+    exit_code: int | None = None
+    output: bytes = b""
+    trap: Exception | None = None
+    instructions: int = 0
+    cycles: int = 0
+    memory_accesses: int = 0
+    allocations: int = 0
+    allocated_bytes: int = 0
+    checkpoints: list[int] = field(default_factory=list)
+    model_name: str = ""
+
+    @property
+    def trapped(self) -> bool:
+        return self.trap is not None
+
+    @property
+    def ok(self) -> bool:
+        """True when the program ran to completion and returned zero."""
+        return not self.trapped and self.exit_code == 0
+
+    def output_text(self) -> str:
+        return self.output.decode("latin-1")
+
+
+class _ReturnValue(Exception):
+    """Internal: unwinds one interpreted call frame."""
+
+    def __init__(self, value) -> None:
+        super().__init__("return")
+        self.value = value
+
+
+class AbstractMachine:
+    """Executes IR modules under a pluggable memory model."""
+
+    def __init__(
+        self,
+        module: Module,
+        model: MemoryModel | str = "pdp11",
+        *,
+        config: MachineConfig | None = None,
+        max_instructions: int = 50_000_000,
+        collect_timing: bool = True,
+    ) -> None:
+        self.module = module
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.config = config or MachineConfig()
+        self.ctx = module.context
+        if self.ctx is None:
+            raise InterpreterError("module has no type context")
+        if self.ctx.pointer_bytes != self.model.pointer_bytes:
+            raise InterpreterError(
+                f"module compiled for {self.ctx.pointer_bytes}-byte pointers but model "
+                f"{self.model.name!r} uses {self.model.pointer_bytes}-byte pointers; "
+                "compile with pointer_bytes=model.pointer_bytes"
+            )
+        self.memory = TaggedMemory(_ADDRESS_SPACE)
+        self.allocator = ObjectAllocator()
+        self.hierarchy = MemoryHierarchy(self.config.timing)
+        self.shadow: dict[int, object] = {}
+        self.globals: dict[str, PtrVal] = {}
+        self.output = bytearray()
+        self.checkpoints: list[int] = []
+        self.rng = DeterministicRng(12345)
+        self.instructions = 0
+        self.cycles = 0
+        self.memory_accesses = 0
+        self.max_instructions = max_instructions
+        self.collect_timing = collect_timing
+        self._call_depth = 0
+        self._setup_globals()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _setup_globals(self) -> None:
+        for name, var in self.module.globals.items():
+            size = var.ctype.size(self.ctx)
+            alignment = max(var.ctype.alignment(self.ctx), 8)
+            if var.is_string:
+                obj = self.allocator.allocate_string(size, name)
+            else:
+                obj = self.allocator.allocate_global(size, name, alignment=alignment)
+            if var.init_bytes:
+                self.memory.write_bytes(obj.base, var.init_bytes)
+            self.globals[name] = self.model.make_pointer(obj)
+
+    # ------------------------------------------------------------------
+    # Helpers used by intrinsics
+    # ------------------------------------------------------------------
+
+    def emit_output(self, data: bytes) -> None:
+        self.output.extend(data)
+
+    def reseed(self, seed: int) -> None:
+        self.rng = DeterministicRng(seed or 1)
+
+    def heap_allocate(self, size: int) -> PtrVal:
+        obj = self.allocator.allocate_heap(size, alignment=max(16, self.model.pointer_align))
+        return self.model.make_pointer(obj)
+
+    def heap_free(self, pointer: PtrVal) -> None:
+        obj = pointer.obj or self.allocator.find(pointer.address)
+        if obj is None or obj.kind != "heap":
+            raise MemorySafetyError(f"free() of a non-heap pointer at {pointer.address:#x}",
+                                    address=pointer.address)
+        self.allocator.free(obj)
+
+    def read_checked_bytes(self, pointer: PtrVal, length: int) -> bytes:
+        if length == 0:
+            return b""
+        address = self.model.check_access(pointer, length, is_write=False)
+        self._touch_memory(address, length, is_write=False)
+        return self.memory.read_bytes(address, length)
+
+    def write_checked_bytes(self, pointer: PtrVal, data: bytes) -> None:
+        if not data:
+            return
+        address = self.model.check_access(pointer, len(data), is_write=True)
+        self._touch_memory(address, len(data), is_write=True)
+        self._clear_shadow_range(address, len(data))
+        self.memory.write_bytes(address, data)
+
+    def read_cstring(self, pointer: PtrVal, *, limit: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated string one chunk at a time (bounds-checked)."""
+        out = bytearray()
+        cursor = pointer
+        for _ in range(limit):
+            address = self.model.check_access(cursor, 1, is_write=False)
+            self._touch_memory(address, 1, is_write=False)
+            byte = self.memory.read_bytes(address, 1)
+            if byte == b"\x00":
+                return bytes(out)
+            out += byte
+            cursor = self.model.ptr_offset(cursor, 1)
+        raise InterpreterError("unterminated string (exceeded 1 MiB)")
+
+    def copy_memory(self, dst: PtrVal, src: PtrVal, length: int) -> None:
+        """memcpy: copies bytes *and* pointer metadata (tag-preserving copy)."""
+        if length == 0:
+            return
+        src_address = self.model.check_access(src, length, is_write=False)
+        dst_address = self.model.check_access(dst, length, is_write=True)
+        self._touch_memory(src_address, length, is_write=False)
+        self._touch_memory(dst_address, length, is_write=True)
+        data = self.memory.read_bytes(src_address, length)
+        self._clear_shadow_range(dst_address, length)
+        self.memory.write_bytes(dst_address, data)
+        if self.model.uses_shadow:
+            delta = dst_address - src_address
+            moved = {
+                key + delta: value
+                for key, value in self.shadow.items()
+                if src_address <= key < src_address + length
+            }
+            self.shadow.update(moved)
+
+    # ------------------------------------------------------------------
+    # Memory primitives
+    # ------------------------------------------------------------------
+
+    def _touch_memory(self, address: int, size: int, *, is_write: bool) -> None:
+        self.memory_accesses += 1
+        if self.collect_timing:
+            self.cycles += self.hierarchy.access(address, size, is_write=is_write)
+
+    def _clear_shadow_range(self, address: int, size: int) -> None:
+        if not self.model.uses_shadow or not self.model.clear_shadow_on_data_store:
+            return
+        if not self.shadow:
+            return
+        span = range(address - address % 8, address + size)
+        for key in [k for k in span if k % 8 == 0 and k in self.shadow]:
+            del self.shadow[key]
+
+    def _store_scalar(self, pointer: PtrVal, value, ctype: CType) -> None:
+        """Store one typed value through a pointer."""
+        if isinstance(ctype, PointerType) or self._is_pointer_sized_int(ctype):
+            width = self.model.pointer_bytes
+            address = self.model.check_access(pointer, width, is_write=True)
+            self._touch_memory(address, width, is_write=True)
+            raw = value.address if isinstance(value, PtrVal) else value.unsigned
+            self._clear_shadow_range(address, width)
+            self.memory.write_bytes(address, raw.to_bytes(8, "little", signed=False) + b"\x00" * (width - 8))
+            if self.model.uses_shadow:
+                self.shadow[address] = value
+            return
+        size = max(ctype.size(self.ctx), 1)
+        address = self.model.check_access(pointer, size, is_write=True)
+        self._touch_memory(address, size, is_write=True)
+        self._clear_shadow_range(address, size)
+        raw_value = value.unsigned if isinstance(value, IntVal) else int(value)
+        self.memory.write_int(address, size, raw_value)
+
+    def _load_scalar(self, pointer: PtrVal, ctype: CType):
+        """Load one typed value through a pointer."""
+        if isinstance(ctype, PointerType) or self._is_pointer_sized_int(ctype):
+            width = self.model.pointer_bytes
+            address = self.model.check_access(pointer, width, is_write=False)
+            self._touch_memory(address, width, is_write=False)
+            raw = int.from_bytes(self.memory.read_bytes(address, 8), "little")
+            entry = self.shadow.get(address) if self.model.uses_shadow else None
+            if isinstance(ctype, PointerType):
+                loaded = self._reconstruct_pointer(raw, entry)
+                return self._apply_pointer_qualifiers(loaded, ctype)
+            return self._reconstruct_pointer_sized_int(raw, entry, ctype)
+        size = max(ctype.size(self.ctx), 1)
+        address = self.model.check_access(pointer, size, is_write=False)
+        self._touch_memory(address, size, is_write=False)
+        signed = getattr(ctype, "signed", True)
+        raw = self.memory.read_int(address, size, signed=signed)
+        return IntVal(raw, bytes=size, signed=signed)
+
+    def _reconstruct_pointer(self, raw: int, entry) -> PtrVal:
+        if entry is None:
+            return self.model.load_pointer_without_metadata(raw, self.allocator)
+        if isinstance(entry, PtrVal):
+            return self.model.reconcile_loaded_pointer(raw, entry, self.allocator)
+        if isinstance(entry, IntVal):
+            return self.model.int_to_ptr(entry.with_value(raw, provenance=entry.provenance),
+                                         self.allocator)
+        raise InterpreterError(f"corrupt shadow entry {entry!r}")
+
+    def _reconstruct_pointer_sized_int(self, raw: int, entry, ctype: CType) -> IntVal:
+        signed = getattr(ctype, "signed", True)
+        if isinstance(entry, IntVal) and entry.unsigned == raw:
+            return IntVal(raw, bytes=8, signed=signed, provenance=entry.provenance, pointer_sized=True)
+        if isinstance(entry, PtrVal) and entry.address == raw:
+            return IntVal(raw, bytes=8, signed=signed, provenance=Provenance(entry), pointer_sized=True)
+        return IntVal(raw, bytes=8, signed=signed, pointer_sized=True)
+
+    @staticmethod
+    def _is_pointer_sized_int(ctype: CType) -> bool:
+        return isinstance(ctype, IntType) and ctype.is_pointer_sized
+
+    def _apply_pointer_qualifiers(self, pointer: PtrVal, ptr_type: PointerType) -> PtrVal:
+        """Apply const/__input/__output effects when a value takes a pointer type."""
+        if not isinstance(pointer, PtrVal):
+            return pointer
+        result = pointer
+        if ptr_type.qualifiers & Qualifiers.INPUT:
+            result = self.model.apply_input_qualifier(result)
+        if ptr_type.qualifiers & Qualifiers.OUTPUT:
+            result = self.model.apply_output_qualifier(result)
+        if ptr_type.pointee.is_const:
+            result = self.model.apply_const(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Running programs
+    # ------------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: list | None = None) -> ExecutionResult:
+        """Run ``entry`` (after ``__global_init``) and package the outcome."""
+        trap: Exception | None = None
+        exit_code: int | None = None
+        try:
+            if "__global_init" in self.module.functions:
+                self._call(self.module.functions["__global_init"], [])
+            if entry not in self.module.functions:
+                raise InterpreterError(f"program has no function {entry!r}")
+            result = self._call(self.module.functions[entry], list(args or []))
+            if isinstance(result, IntVal):
+                exit_code = result.value
+            elif isinstance(result, PtrVal):
+                exit_code = result.address
+            else:
+                exit_code = 0
+        except ExitProgram as exc:
+            exit_code = exc.code
+        except (MemorySafetyError, UndefinedBehaviorError, InterpreterError) as exc:
+            trap = exc
+        return ExecutionResult(
+            exit_code=exit_code,
+            output=bytes(self.output),
+            trap=trap,
+            instructions=self.instructions,
+            cycles=self.cycles,
+            memory_accesses=self.memory_accesses,
+            allocations=self.allocator.allocation_count,
+            allocated_bytes=self.allocator.bytes_allocated,
+            checkpoints=list(self.checkpoints),
+            model_name=self.model.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Call frames
+    # ------------------------------------------------------------------
+
+    def _call(self, function: Function, args: list):
+        if self._call_depth > 400:
+            raise InterpreterError(f"call depth limit exceeded calling {function.name}")
+        self._call_depth += 1
+        self.allocator.push_frame()
+        try:
+            return self._execute(function, args)
+        finally:
+            self.allocator.pop_frame()
+            self._call_depth -= 1
+
+    def _execute(self, function: Function, args: list):
+        temps: dict[int, object] = {}
+        alloca_cache: dict[int, PtrVal] = {}
+        labels = function.label_index()
+        timing = self.config.timing
+        instrs = function.instrs
+        pc = 0
+        while pc < len(instrs):
+            instr = instrs[pc]
+            pc += 1
+            self.instructions += 1
+            if self.instructions > self.max_instructions:
+                raise InterpreterError(
+                    f"instruction budget of {self.max_instructions} exhausted in {function.name}"
+                )
+            op = instr.op
+            if op is Opcode.LABEL or op is Opcode.NOP:
+                continue
+            self.cycles += timing.base_instruction_cost
+            if op is Opcode.JUMP:
+                self.cycles += timing.branch_cost - timing.base_instruction_cost
+                pc = labels[instr.attrs["target"]]
+                continue
+            if op is Opcode.CJUMP:
+                self.cycles += timing.branch_cost - timing.base_instruction_cost
+                condition = self._eval(instr.args[0], temps)
+                taken = condition.is_true if isinstance(condition, IntVal) else not condition.is_null
+                pc = labels[instr.attrs["then"] if taken else instr.attrs["else"]]
+                continue
+            if op is Opcode.RET:
+                if instr.args:
+                    return self._eval(instr.args[0], temps)
+                return None
+            result = self._execute_instr(instr, temps, alloca_cache, args, pc - 1)
+            if instr.dest is not None:
+                temps[instr.dest.index] = result
+        return None
+
+    # ------------------------------------------------------------------
+    # Instruction dispatch
+    # ------------------------------------------------------------------
+
+    def _eval(self, operand, temps):
+        if isinstance(operand, Temp):
+            try:
+                return temps[operand.index]
+            except KeyError:
+                raise InterpreterError(f"use of undefined temporary {operand}") from None
+        if isinstance(operand, Const):
+            ctype = operand.ctype
+            if isinstance(ctype, PointerType):
+                if operand.value == 0:
+                    return self.model.null_pointer()
+                return self.model.int_to_ptr(IntVal(operand.value, bytes=8, signed=False), self.allocator)
+            size = ctype.size(self.ctx) if isinstance(ctype, IntType) else 8
+            signed = getattr(ctype, "signed", True)
+            pointer_sized = isinstance(ctype, IntType) and ctype.is_pointer_sized
+            return IntVal(operand.value, bytes=min(size, 8), signed=signed, pointer_sized=pointer_sized)
+        if isinstance(operand, GlobalRef):
+            try:
+                return self.globals[operand.name]
+            except KeyError:
+                raise InterpreterError(f"use of unknown global {operand.name!r}") from None
+        raise InterpreterError(f"cannot evaluate operand {operand!r}")
+
+    def _execute_instr(self, instr: Instr, temps, alloca_cache, args, index):
+        op = instr.op
+
+        if op is Opcode.ALLOCA:
+            cached = alloca_cache.get(index)
+            if cached is not None:
+                return cached
+            size = instr.attrs.get("size", 8)
+            alloc_type = instr.attrs.get("alloc_type")
+            alignment = max(8, alloc_type.alignment(self.ctx) if alloc_type is not None else 8)
+            obj = self.allocator.allocate_stack(size, instr.attrs.get("name", ""), alignment=alignment)
+            pointer = self.model.make_pointer(obj)
+            alloca_cache[index] = pointer
+            return pointer
+
+        if op is Opcode.LOAD:
+            pointer = self._pointer_operand(instr.args[0], temps)
+            return self._load_scalar(pointer, instr.ctype)
+
+        if op is Opcode.STORE:
+            pointer = self._pointer_operand(instr.args[0], temps)
+            if "param_index" in instr.attrs:
+                value = args[instr.attrs["param_index"]]
+            else:
+                value = self._eval(instr.args[1], temps)
+            value = self._coerce_for_store(value, instr.ctype)
+            self._store_scalar(pointer, value, instr.ctype)
+            return None
+
+        if op is Opcode.GEP:
+            pointer = self._pointer_operand(instr.args[0], temps)
+            idx = self._eval(instr.args[1], temps)
+            delta = (idx.value if isinstance(idx, IntVal) else idx.address) * instr.attrs["element_size"]
+            return self.model.ptr_offset(pointer, delta)
+
+        if op is Opcode.FIELD:
+            pointer = self._pointer_operand(instr.args[0], temps)
+            field_type = instr.ctype.pointee if isinstance(instr.ctype, PointerType) else None
+            field_size = field_type.size(self.ctx) if field_type is not None else 1
+            return self.model.field_address(pointer, instr.attrs["offset"], field_size)
+
+        if op is Opcode.PTRADD:
+            pointer = self._pointer_operand(instr.args[0], temps)
+            delta = self._eval(instr.args[1], temps)
+            return self.model.ptr_offset(pointer, delta.value)
+
+        if op is Opcode.PTRDIFF:
+            a = self._pointer_operand(instr.args[0], temps)
+            b = self._pointer_operand(instr.args[1], temps)
+            diff = self.model.ptr_diff(a, b, instr.attrs.get("element_size", 1))
+            return IntVal(diff, bytes=8, signed=True)
+
+        if op is Opcode.PTRTOINT:
+            pointer = self._pointer_operand(instr.args[0], temps)
+            target = instr.ctype
+            return self.model.ptr_to_int(
+                pointer,
+                bytes=min(target.size(self.ctx), 8),
+                signed=getattr(target, "signed", True),
+                pointer_sized=isinstance(target, IntType) and target.is_pointer_sized,
+            )
+
+        if op is Opcode.INTTOPTR:
+            value = self._eval(instr.args[0], temps)
+            if isinstance(value, PtrVal):
+                pointer = value
+            else:
+                pointer = self.model.int_to_ptr(value, self.allocator)
+            if isinstance(instr.ctype, PointerType):
+                pointer = self._apply_pointer_qualifiers(pointer, instr.ctype)
+            return pointer
+
+        if op is Opcode.BITCAST:
+            value = self._eval(instr.args[0], temps)
+            if not isinstance(value, PtrVal):
+                return value
+            if instr.attrs.get("deconst"):
+                value = self.model.deconst(value)
+            if isinstance(instr.ctype, PointerType):
+                value = self._apply_pointer_qualifiers(value, instr.ctype)
+            return value
+
+        if op is Opcode.INTCAST:
+            value = self._eval(instr.args[0], temps)
+            target = instr.ctype
+            pointer_sized = isinstance(target, IntType) and target.is_pointer_sized
+            if isinstance(value, PtrVal):
+                return self.model.ptr_to_int(
+                    value, bytes=min(target.size(self.ctx), 8),
+                    signed=getattr(target, "signed", True), pointer_sized=pointer_sized,
+                )
+            return value.converted(bytes=min(target.size(self.ctx), 8),
+                                   signed=getattr(target, "signed", True),
+                                   pointer_sized=pointer_sized)
+
+        if op is Opcode.BINOP:
+            return self._binop(instr, temps)
+
+        if op is Opcode.UNOP:
+            value = self._eval(instr.args[0], temps)
+            if not isinstance(value, IntVal):
+                raise InterpreterError("unary arithmetic on a pointer value")
+            if instr.attrs["operator"] == "neg":
+                return value.with_value(-value.value, provenance=None)
+            return value.with_value(~value.value, provenance=None)
+
+        if op is Opcode.CMP:
+            return self._compare(instr, temps)
+
+        if op is Opcode.CALL:
+            return self._call_target(instr, temps)
+
+        raise InterpreterError(f"unsupported IR opcode {op}")
+
+    # ------------------------------------------------------------------
+
+    def _pointer_operand(self, operand, temps) -> PtrVal:
+        value = self._eval(operand, temps)
+        if isinstance(value, PtrVal):
+            return value
+        if isinstance(value, IntVal):
+            return self.model.int_to_ptr(value, self.allocator)
+        raise InterpreterError(f"expected a pointer, got {value!r}")
+
+    def _coerce_for_store(self, value, ctype: CType):
+        if isinstance(ctype, PointerType) and isinstance(value, IntVal):
+            return self.model.int_to_ptr(value, self.allocator)
+        if isinstance(ctype, IntType) and isinstance(value, PtrVal) and not ctype.is_pointer_sized:
+            return self.model.ptr_to_int(value, bytes=min(ctype.size(self.ctx), 8),
+                                         signed=ctype.signed, pointer_sized=False)
+        return value
+
+    _BIN_OPERATIONS = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "&": lambda a, b: a & b,
+        "|": lambda a, b: a | b,
+        "^": lambda a, b: a ^ b,
+        "<<": lambda a, b: a << (b & 63),
+        ">>": lambda a, b: a >> (b & 63),
+    }
+
+    def _binop(self, instr: Instr, temps):
+        left = self._eval(instr.args[0], temps)
+        right = self._eval(instr.args[1], temps)
+        operator = instr.attrs["operator"]
+        if isinstance(left, PtrVal) or isinstance(right, PtrVal):
+            # Arithmetic involving a raw pointer value outside of gep/ptrdiff:
+            # convert to integers first (keeps provenance via ptr_to_int).
+            if isinstance(left, PtrVal):
+                left = self.model.ptr_to_int(left, bytes=8, signed=False, pointer_sized=True)
+            if isinstance(right, PtrVal):
+                right = self.model.ptr_to_int(right, bytes=8, signed=False, pointer_sized=True)
+        a, b = left.value, right.value
+        if operator in ("/", "%"):
+            if b == 0:
+                raise UndefinedBehaviorError("integer division by zero")
+            quotient = abs(a) // abs(b)
+            if operator == "/":
+                raw = quotient if (a >= 0) == (b >= 0) else -quotient
+            else:
+                raw = a - (quotient if (a >= 0) == (b >= 0) else -quotient) * b
+        else:
+            try:
+                raw = self._BIN_OPERATIONS[operator](a, b)
+            except KeyError:
+                raise InterpreterError(f"unknown binary operator {operator!r}") from None
+        target = instr.ctype
+        size = min(target.size(self.ctx), 8) if target is not None else 8
+        signed = getattr(target, "signed", True)
+        pointer_sized = isinstance(target, IntType) and target.is_pointer_sized
+        provenance = self.model.propagate_provenance(left, right, raw)
+        return IntVal(raw, bytes=size, signed=signed, provenance=provenance, pointer_sized=pointer_sized)
+
+    def _compare(self, instr: Instr, temps) -> IntVal:
+        left = self._eval(instr.args[0], temps)
+        right = self._eval(instr.args[1], temps)
+        operator = instr.attrs["operator"]
+        if isinstance(left, PtrVal) and isinstance(right, PtrVal):
+            result = self.model.ptr_compare(left, right, operator)
+        else:
+            a = left.address if isinstance(left, PtrVal) else left.value
+            b = right.address if isinstance(right, PtrVal) else right.value
+            result = {"==": a == b, "!=": a != b, "<": a < b,
+                      "<=": a <= b, ">": a > b, ">=": a >= b}[operator]
+        return IntVal(1 if result else 0, bytes=4)
+
+    def _call_target(self, instr: Instr, temps):
+        callee = instr.attrs["callee"]
+        self.cycles += self.config.timing.call_cost - self.config.timing.base_instruction_cost
+        arguments = [self._eval(arg, temps) for arg in instr.args]
+        function = self.module.functions.get(callee)
+        if function is not None and function.instrs:
+            # Coerce arguments to parameter types (qualifier effects included).
+            coerced = []
+            for index, value in enumerate(arguments):
+                if index < len(function.params):
+                    _, param_type = function.params[index]
+                    if isinstance(param_type, PointerType) and isinstance(value, PtrVal):
+                        value = self._apply_pointer_qualifiers(value, param_type)
+                    elif isinstance(param_type, PointerType) and isinstance(value, IntVal):
+                        value = self.model.int_to_ptr(value, self.allocator)
+                coerced.append(value)
+            return self._call(function, coerced)
+        handler = INTRINSICS.get(callee)
+        if handler is None:
+            raise InterpreterError(f"call to unknown function {callee!r}")
+        return handler(self, arguments, instr.ctype)

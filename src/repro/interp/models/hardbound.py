@@ -1,0 +1,38 @@
+"""The HardBound model (Devietti et al., ASPLOS 2008; paper §5.1 and §6).
+
+HardBound associates bounds with pointers via a compiler/hardware-maintained
+table keyed by the *location* the pointer is stored at.  Two properties
+matter for Table 3:
+
+* it **fails closed**: when bounds cannot be tracked (a pointer laundered
+  through integer arithmetic, or a pointer value overwritten as data), the
+  access is refused rather than allowed unchecked;
+* the look-aside table is separate from the data, so a data overwrite of a
+  stored pointer leaves stale bounds behind — HardBound then "will assume the
+  old bounds ... and so will fail closed".
+"""
+
+from __future__ import annotations
+
+from repro.interp.heap import ObjectAllocator
+from repro.interp.models.base import MemoryModel
+from repro.interp.values import PtrVal
+
+
+class HardBoundModel(MemoryModel):
+    """Fail-closed, table-based bounds checking."""
+
+    name = "hardbound"
+    label = "HardBound (fail closed)"
+    pointer_bytes = 8
+    pointer_align = 8
+    uses_shadow = True
+    #: the bounds table is a separate structure: data stores do NOT clear it.
+    clear_shadow_on_data_store = False
+    int_roundtrip_note = "(yes)"
+
+    def reconcile_loaded_pointer(self, raw_address: int, stored: PtrVal, allocator: ObjectAllocator) -> PtrVal:
+        # The loaded pointer takes the raw address from memory but keeps the
+        # *old* bounds from the table, even if they no longer match: a
+        # mismatched access then fails its bounds check (fail closed).
+        return stored.moved_to(raw_address)

@@ -1,0 +1,27 @@
+"""The Strict interpreter (paper §5.1).
+
+"Strict interpreter allows pointers to be reconstructed from integers if (and
+only if) they are not modified in their integer representation."  This is the
+paper's preferred reading of the C standard short of full capability
+hardware: pointer provenance must be preserved exactly; any integer
+arithmetic on a pointer-derived value (the IA and MASK idioms) invalidates
+it.  The base class already implements exactly this policy, so the class body
+only sets metadata — which is itself a result: Strict is the natural
+"default" reading of the standard.
+"""
+
+from __future__ import annotations
+
+from repro.interp.models.base import MemoryModel
+
+
+class StrictModel(MemoryModel):
+    """Provenance-preserving, arithmetic-invalidating pointers."""
+
+    name = "strict"
+    label = "Strict interpreter (unmodified provenance only)"
+    pointer_bytes = 8
+    pointer_align = 8
+    uses_shadow = True
+    clear_shadow_on_data_store = True
+    int_roundtrip_note = "(yes)"

@@ -1,0 +1,152 @@
+"""Runtime values of the abstract machine.
+
+Two kinds of value flow through the interpreter: integers and pointers.
+Keeping them distinct — and recording, on integers, where they came from —
+is what lets the different memory models disagree about the pointer idioms:
+
+* :class:`IntVal` is a fixed-width two's-complement integer.  When it was
+  produced from a pointer (``ptrtoint``) it carries a :class:`Provenance`
+  record; integer arithmetic marks the provenance *modified*, which is the
+  fact models like Strict, HardBound and CHERIv2 key off.
+* :class:`PtrVal` is the model-independent pointer representation: the
+  current address, the bounds and permissions granted, a CHERI-style tag and
+  the heap object it was derived from.  Individual memory models interpret
+  (or ignore) these fields according to their own rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.bitops import sign_extend, truncate
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where an integer value came from, if it was derived from a pointer."""
+
+    pointer: "PtrVal"
+    #: True once integer arithmetic has been performed on the value.
+    modified: bool = False
+
+    def touched(self) -> "Provenance":
+        return Provenance(pointer=self.pointer, modified=True)
+
+
+@dataclass(frozen=True)
+class IntVal:
+    """A fixed-width integer value."""
+
+    value: int
+    bytes: int = 8
+    signed: bool = True
+    provenance: Provenance | None = None
+    #: True when the C type was intptr_t/intcap_t: capability ABIs represent
+    #: these as capabilities, so they round-trip pointers losslessly.
+    pointer_sized: bool = False
+
+    def __post_init__(self) -> None:
+        wrapped = truncate(self.value, self.bytes * 8)
+        if self.signed:
+            wrapped = sign_extend(wrapped, self.bytes * 8)
+        object.__setattr__(self, "value", wrapped)
+
+    @property
+    def unsigned(self) -> int:
+        return truncate(self.value, self.bytes * 8)
+
+    @property
+    def is_true(self) -> bool:
+        return self.value != 0
+
+    def with_value(self, value: int, *, provenance: Provenance | None = None) -> "IntVal":
+        return IntVal(value=value, bytes=self.bytes, signed=self.signed,
+                      provenance=provenance, pointer_sized=self.pointer_sized)
+
+    def converted(self, *, bytes: int, signed: bool, pointer_sized: bool = False) -> "IntVal":
+        """Integer conversion; narrowing drops provenance information only if
+        bits are actually lost (the WIDE idiom)."""
+        provenance = self.provenance
+        if bytes < self.bytes:
+            provenance = provenance.touched() if provenance else None
+        return IntVal(value=self.value, bytes=bytes, signed=signed,
+                      provenance=provenance, pointer_sized=pointer_sized)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"i{self.bytes * 8}:{self.value}"
+
+
+_ADDRESS_MASK = (1 << 64) - 1
+
+# Permission flag constants shared by every pointer.
+PERM_READ = 1
+PERM_WRITE = 2
+PERM_ALL = PERM_READ | PERM_WRITE
+
+
+@dataclass(frozen=True)
+class PtrVal:
+    """A pointer value.
+
+    ``obj`` is the :class:`~repro.interp.heap.HeapObject` the pointer was
+    derived from (None for NULL and for forged pointers), ``base``/``length``
+    are the rights it grants, ``address`` is where it currently points, and
+    ``tag`` records validity under capability models.  ``checked`` is used by
+    the MPX model: a pointer whose bounds were lost fails *open*, i.e. it is
+    dereferenceable but unchecked.
+    """
+
+    address: int = 0
+    base: int = 0
+    length: int = 0
+    obj: object | None = None
+    perms: int = PERM_ALL
+    tag: bool = True
+    checked: bool = True
+
+    @property
+    def is_null(self) -> bool:
+        return self.address == 0 and self.obj is None
+
+    @property
+    def top(self) -> int:
+        return self.base + self.length
+
+    @property
+    def offset(self) -> int:
+        """CHERI-style offset: the cursor relative to the base."""
+        return self.address - self.base
+
+    @property
+    def in_bounds(self) -> bool:
+        return self.base <= self.address < self.top or (self.address == self.top and self.length == 0)
+
+    def moved_to(self, address: int) -> "PtrVal":
+        return replace(self, address=address & _ADDRESS_MASK)
+
+    def moved_by(self, delta: int) -> "PtrVal":
+        # Pointer arithmetic wraps modulo 2**64, exactly like address
+        # arithmetic on 64-bit hardware; this is what makes subtracting an
+        # unsigned offset (e.g. ``p - offsetof(...)``) land on the right
+        # address.
+        return replace(self, address=(self.address + delta) & _ADDRESS_MASK)
+
+    def with_bounds(self, base: int, length: int) -> "PtrVal":
+        return replace(self, base=base, length=length)
+
+    def with_perms(self, perms: int) -> "PtrVal":
+        return replace(self, perms=perms)
+
+    def untagged(self) -> "PtrVal":
+        return replace(self, tag=False)
+
+    def unchecked(self) -> "PtrVal":
+        return replace(self, checked=False)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        flags = ("t" if self.tag else "-") + ("c" if self.checked else "-")
+        return f"ptr[{flags}]@{self.address:#x} [{self.base:#x},{self.top:#x})"
+
+
+#: The canonical null pointer.
+NULL_PTR = PtrVal(address=0, base=0, length=0, obj=None, perms=0, tag=False)

@@ -1,0 +1,231 @@
+"""Abstract syntax tree for mini-C.
+
+Nodes are plain dataclasses produced by :class:`repro.minic.parser.Parser` and
+consumed by :class:`repro.minic.irgen.IrGenerator`.  Every node carries the
+source line it came from so that both compile-time diagnostics and the porting
+analyzer (Table 4) can report line-level information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minic.typesys import CType, Qualifiers
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operators: ``-``, ``+``, ``!``, ``~``, ``*``, ``&``."""
+
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class IncDec(Expr):
+    """Pre/post increment and decrement."""
+
+    op: str = "++"
+    operand: Expr | None = None
+    is_prefix: bool = True
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment; ``op`` is ``"="`` or a compound operator like ``"+="``."""
+
+    op: str = "="
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class Conditional(Expr):
+    condition: Expr | None = None
+    then_value: Expr | None = None
+    else_value: Expr | None = None
+
+
+@dataclass
+class Cast(Expr):
+    target_type: CType | None = None
+    operand: Expr | None = None
+
+
+@dataclass
+class SizeofType(Expr):
+    target_type: CType | None = None
+
+
+@dataclass
+class SizeofExpr(Expr):
+    operand: Expr | None = None
+
+
+@dataclass
+class OffsetOf(Expr):
+    """``offsetof(struct tag, member)`` — needed by the CONTAINER idiom."""
+
+    target_type: CType | None = None
+    member: str = ""
+
+
+@dataclass
+class Call(Expr):
+    callee: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Member(Expr):
+    """``base.member`` when ``arrow`` is False, ``base->member`` otherwise."""
+
+    base: Expr | None = None
+    member: str = ""
+    arrow: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class Declaration(Stmt):
+    """A local or global variable declaration (one declarator)."""
+
+    name: str = ""
+    ctype: CType | None = None
+    initializer: Expr | None = None
+    array_initializer: list[Expr] | None = None
+    is_global: bool = False
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+    #: True for synthetic blocks (e.g. ``int a, b;`` declarator groups) whose
+    #: declarations belong to the *enclosing* scope.
+    transparent: bool = False
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr | None = None
+    then_branch: Stmt | None = None
+    else_branch: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None
+    condition: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Parameter(Node):
+    name: str = ""
+    ctype: CType | None = None
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    return_type: CType | None = None
+    params: list[Parameter] = field(default_factory=list)
+    body: Block | None = None
+    variadic: bool = False
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A whole source file: globals, struct definitions and functions."""
+
+    declarations: list[Declaration] = field(default_factory=list)
+    functions: list[FunctionDef] = field(default_factory=list)

@@ -1,0 +1,219 @@
+"""Tokenizer for mini-C.
+
+Produces a flat list of :class:`Token` objects.  ``//`` and ``/* */`` comments
+are stripped; there is no preprocessor (workloads are written as single
+translation units), but lines starting with ``#`` are skipped so sources can
+keep ``#include`` lines for documentation purposes.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.common.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    CHAR = "char"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "void", "char", "short", "int", "long", "signed", "unsigned",
+        "struct", "union", "const", "volatile", "static", "extern", "register", "inline",
+        "if", "else", "while", "for", "do", "return", "break", "continue",
+        "sizeof", "typedef",
+        # CHERI extensions from the paper (§4.1)
+        "__capability", "__input", "__output",
+    }
+)
+
+#: Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = (
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+)
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+")
+_OCT_RE = re.compile(r"0[0-7]+")
+_DEC_RE = re.compile(r"[0-9]+")
+_INT_SUFFIX_RE = re.compile(r"[uUlL]*")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: int | str | None
+    line: int
+    column: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.kind.value}({self.text!r})@{self.line}"
+
+
+class Lexer:
+    """Single-pass tokenizer."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, line=self._line, column=self._column)
+
+    def _advance(self, count: int) -> None:
+        for _ in range(count):
+            if self._pos < len(self._source) and self._source[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        src = self._source
+        while self._pos < len(src):
+            ch = src[self._pos]
+            if ch in " \t\r\n":
+                self._advance(1)
+            elif src.startswith("//", self._pos):
+                while self._pos < len(src) and src[self._pos] != "\n":
+                    self._advance(1)
+            elif src.startswith("/*", self._pos):
+                end = src.find("*/", self._pos + 2)
+                if end < 0:
+                    raise self._error("unterminated block comment")
+                self._advance(end + 2 - self._pos)
+            elif ch == "#" and self._column == 1:
+                # preprocessor-style line: skipped (no preprocessor in mini-C)
+                while self._pos < len(src) and src[self._pos] != "\n":
+                    self._advance(1)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        if self._pos >= len(self._source):
+            return Token(TokenKind.EOF, "", None, self._line, self._column)
+        line, column = self._line, self._column
+        src = self._source
+        ch = src[self._pos]
+
+        ident = _IDENT_RE.match(src, self._pos)
+        if ident:
+            text = ident.group(0)
+            self._advance(len(text))
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            return Token(kind, text, text, line, column)
+
+        if ch.isdigit():
+            return self._lex_number(line, column)
+
+        if ch == '"':
+            return self._lex_string(line, column)
+
+        if ch == "'":
+            return self._lex_char(line, column)
+
+        for punct in _PUNCTUATORS:
+            if src.startswith(punct, self._pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, punct, line, column)
+
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        src = self._source
+        for pattern, base in ((_HEX_RE, 16), (_OCT_RE, 8), (_DEC_RE, 10)):
+            match = pattern.match(src, self._pos)
+            if match:
+                text = match.group(0)
+                self._advance(len(text))
+                suffix = _INT_SUFFIX_RE.match(src, self._pos)
+                if suffix and suffix.group(0):
+                    self._advance(len(suffix.group(0)))
+                return Token(TokenKind.INT, text, int(text, base), line, column)
+        raise self._error("malformed number literal")
+
+    _ESCAPES = {
+        "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+        "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v",
+    }
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        src = self._source
+        pos = self._pos + 1
+        out = []
+        while pos < len(src) and src[pos] != '"':
+            ch = src[pos]
+            if ch == "\\":
+                pos += 1
+                if pos >= len(src):
+                    raise self._error("unterminated string literal")
+                escape = src[pos]
+                if escape == "x":
+                    hex_digits = ""
+                    while pos + 1 < len(src) and src[pos + 1] in "0123456789abcdefABCDEF":
+                        pos += 1
+                        hex_digits += src[pos]
+                    out.append(chr(int(hex_digits, 16)))
+                else:
+                    out.append(self._ESCAPES.get(escape, escape))
+            else:
+                out.append(ch)
+            pos += 1
+        if pos >= len(src):
+            raise self._error("unterminated string literal")
+        text = "".join(out)
+        self._advance(pos + 1 - self._pos)
+        return Token(TokenKind.STRING, text, text, line, column)
+
+    def _lex_char(self, line: int, column: int) -> Token:
+        src = self._source
+        pos = self._pos + 1
+        if pos >= len(src):
+            raise self._error("unterminated character literal")
+        ch = src[pos]
+        if ch == "\\":
+            pos += 1
+            if pos >= len(src):
+                raise self._error("unterminated character literal")
+            value = ord(self._ESCAPES.get(src[pos], src[pos]))
+        else:
+            value = ord(ch)
+        pos += 1
+        if pos >= len(src) or src[pos] != "'":
+            raise self._error("unterminated character literal")
+        self._advance(pos + 1 - self._pos)
+        return Token(TokenKind.CHAR, chr(value), value, line, column)

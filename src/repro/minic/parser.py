@@ -1,0 +1,603 @@
+"""Recursive-descent parser for mini-C.
+
+The grammar is the C subset described in :mod:`repro.minic`.  Declarators are
+deliberately simple — pointers, 1-D arrays and function parameter lists — and
+the parser shares a :class:`~repro.minic.typesys.TypeContext` with the IR
+generator so struct tags and typedef names resolve consistently.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ParseError
+from repro.minic import astnodes as ast
+from repro.minic.lexer import Lexer, Token, TokenKind
+from repro.minic.typesys import (
+    ArrayType,
+    CType,
+    IntType,
+    PointerType,
+    Qualifiers,
+    StructField,
+    StructType,
+    TypeContext,
+    VoidType,
+)
+
+#: binary operator precedence (higher binds tighter); assignment and the
+#: conditional operator are handled separately.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+_TYPE_KEYWORDS = {
+    "void", "char", "short", "int", "long", "signed", "unsigned",
+    "struct", "union", "const", "volatile", "__capability", "__input", "__output",
+    "static", "extern", "register", "inline",
+}
+
+
+def parse(source: str, *, context: TypeContext | None = None) -> tuple[ast.TranslationUnit, TypeContext]:
+    """Parse a mini-C source string; returns the AST and the type context."""
+    ctx = context or TypeContext()
+    parser = Parser(source, ctx)
+    return parser.parse_translation_unit(), ctx
+
+
+class Parser:
+    """A hand-written recursive-descent parser."""
+
+    def __init__(self, source: str, context: TypeContext) -> None:
+        self._tokens = Lexer(source).tokenize()
+        self._pos = 0
+        self._ctx = context
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self._current
+        return ParseError(f"{message} (got {token.text!r})", line=token.line, column=token.column)
+
+    def _expect_punct(self, text: str) -> Token:
+        if not self._current.is_punct(text):
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self._current.kind is not TokenKind.IDENT:
+            raise self._error("expected identifier")
+        return self._advance()
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._current.is_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._current.is_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+
+    def _starts_type(self, token: Token | None = None) -> bool:
+        token = token or self._current
+        if token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS:
+            return True
+        if token.kind is TokenKind.IDENT and self._ctx.lookup_typedef(token.text) is not None:
+            return True
+        return False
+
+    def _parse_declaration_specifiers(self) -> CType:
+        """Parse qualifiers + a base type (no declarator)."""
+        qualifiers = Qualifiers.NONE
+        signedness: bool | None = None
+        base: CType | None = None
+        long_count = 0
+        saw_int_keyword = False
+
+        while True:
+            token = self._current
+            if token.is_keyword("const"):
+                qualifiers |= Qualifiers.CONST
+            elif token.is_keyword("volatile"):
+                qualifiers |= Qualifiers.VOLATILE
+            elif token.is_keyword("__capability"):
+                qualifiers |= Qualifiers.CAPABILITY
+            elif token.is_keyword("__input"):
+                qualifiers |= Qualifiers.INPUT | Qualifiers.CAPABILITY
+            elif token.is_keyword("__output"):
+                qualifiers |= Qualifiers.OUTPUT | Qualifiers.CAPABILITY
+            elif token.is_keyword("static") or token.is_keyword("extern") \
+                    or token.is_keyword("register") or token.is_keyword("inline"):
+                pass  # storage classes accepted and ignored
+            elif token.is_keyword("unsigned"):
+                signedness = False
+            elif token.is_keyword("signed"):
+                signedness = True
+            elif token.is_keyword("void"):
+                base = VoidType()
+            elif token.is_keyword("char"):
+                base = IntType(bytes=1, signed=True, name="char")
+            elif token.is_keyword("short"):
+                base = IntType(bytes=2, signed=True, name="short")
+            elif token.is_keyword("int"):
+                saw_int_keyword = True
+            elif token.is_keyword("long"):
+                long_count += 1
+            elif token.is_keyword("struct") or token.is_keyword("union"):
+                self._advance()
+                base = self._parse_struct_type(is_union=token.text == "union")
+                continue
+            elif token.kind is TokenKind.IDENT and base is None and long_count == 0 \
+                    and not saw_int_keyword and signedness is None:
+                typedef = self._ctx.lookup_typedef(token.text)
+                if typedef is None:
+                    break
+                base = typedef
+            else:
+                break
+            self._advance()
+
+        if base is None:
+            if long_count >= 1:
+                base = IntType(bytes=8, signed=True, name="long")
+            elif saw_int_keyword or signedness is not None:
+                base = IntType(bytes=4, signed=True, name="int")
+            else:
+                raise self._error("expected a type")
+        elif long_count >= 1 and isinstance(base, IntType) and base.name == "int":
+            base = IntType(bytes=8, signed=True, name="long")
+
+        if signedness is not None and isinstance(base, IntType):
+            base = IntType(
+                bytes=base.bytes,
+                signed=signedness,
+                name=base.name if signedness else f"unsigned {base.name}",
+                is_pointer_sized=base.is_pointer_sized,
+            )
+        if qualifiers and not isinstance(base, PointerType):
+            base = base.with_qualifiers(qualifiers & (Qualifiers.CONST | Qualifiers.VOLATILE))
+        # Pointer-level qualifiers (__capability, __input, __output) are applied
+        # by the declarator when a '*' follows; remember them on the side.
+        self._pending_pointer_qualifiers = qualifiers & (
+            Qualifiers.CAPABILITY | Qualifiers.INPUT | Qualifiers.OUTPUT | Qualifiers.CONST
+        )
+        return base
+
+    def _parse_struct_type(self, *, is_union: bool) -> StructType:
+        tag = ""
+        if self._current.kind is TokenKind.IDENT:
+            tag = self._advance().text
+        struct = self._ctx.struct(tag or f"__anon_{self._pos}", is_union=is_union)
+        if self._current.is_punct("{"):
+            self._advance()
+            fields: list[StructField] = []
+            while not self._current.is_punct("}"):
+                base = self._parse_declaration_specifiers()
+                while True:
+                    ctype, name, _ = self._parse_declarator(base)
+                    fields.append(StructField(name=name, ctype=ctype))
+                    if not self._accept_punct(","):
+                        break
+                self._expect_punct(";")
+            self._expect_punct("}")
+            struct.define(fields)
+        return struct
+
+    def _parse_declarator(self, base: CType) -> tuple[CType, str, int]:
+        """Parse ``* ... name [N]`` and return (type, name, line)."""
+        ctype = base
+        pointer_quals = getattr(self, "_pending_pointer_qualifiers", Qualifiers.NONE)
+        while self._current.is_punct("*"):
+            self._advance()
+            quals = Qualifiers.NONE
+            while self._current.is_keyword("const") or self._current.is_keyword("volatile") \
+                    or self._current.is_keyword("__capability") or self._current.is_keyword("__input") \
+                    or self._current.is_keyword("__output"):
+                keyword = self._advance().text
+                if keyword == "const":
+                    quals |= Qualifiers.CONST
+                elif keyword == "__capability":
+                    quals |= Qualifiers.CAPABILITY
+                elif keyword == "__input":
+                    quals |= Qualifiers.INPUT | Qualifiers.CAPABILITY
+                elif keyword == "__output":
+                    quals |= Qualifiers.OUTPUT | Qualifiers.CAPABILITY
+            ctype = PointerType(pointee=ctype, qualifiers=quals | pointer_quals)
+            pointer_quals = Qualifiers.NONE
+        name_token = self._current
+        name = ""
+        if name_token.kind is TokenKind.IDENT:
+            name = self._advance().text
+        while self._current.is_punct("["):
+            self._advance()
+            if self._current.is_punct("]"):
+                count = 0
+            else:
+                count_token = self._current
+                if count_token.kind is not TokenKind.INT:
+                    raise self._error("array size must be an integer literal")
+                count = int(count_token.value)
+                self._advance()
+            self._expect_punct("]")
+            ctype = ArrayType(element=ctype, count=count)
+        return ctype, name, name_token.line
+
+    def _parse_type_name(self) -> CType:
+        """Parse an abstract type (for casts and sizeof)."""
+        base = self._parse_declaration_specifiers()
+        ctype, _, _ = self._parse_declarator(base)
+        return ctype
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self._current.kind is not TokenKind.EOF:
+            if self._accept_keyword("typedef"):
+                base = self._parse_declaration_specifiers()
+                ctype, name, _ = self._parse_declarator(base)
+                self._expect_punct(";")
+                self._ctx.typedef(name, ctype)
+                continue
+            line = self._current.line
+            base = self._parse_declaration_specifiers()
+            if self._accept_punct(";"):
+                continue  # bare struct/union definition
+            ctype, name, decl_line = self._parse_declarator(base)
+            if self._current.is_punct("("):
+                unit.functions.append(self._parse_function(ctype, name, line))
+            else:
+                self._parse_global_tail(unit, ctype, name, decl_line, base)
+        return unit
+
+    def _parse_global_tail(
+        self,
+        unit: ast.TranslationUnit,
+        ctype: CType,
+        name: str,
+        line: int,
+        base: CType,
+    ) -> None:
+        while True:
+            declaration = ast.Declaration(name=name, ctype=ctype, is_global=True, line=line)
+            if self._accept_punct("="):
+                if self._current.is_punct("{"):
+                    declaration.array_initializer = self._parse_brace_initializer()
+                else:
+                    declaration.initializer = self._parse_assignment()
+            unit.declarations.append(declaration)
+            if self._accept_punct(","):
+                ctype, name, line = self._parse_declarator(base)
+                continue
+            self._expect_punct(";")
+            return
+
+    def _parse_brace_initializer(self) -> list[ast.Expr]:
+        self._expect_punct("{")
+        values: list[ast.Expr] = []
+        while not self._current.is_punct("}"):
+            values.append(self._parse_assignment())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct("}")
+        return values
+
+    def _parse_function(self, return_type: CType, name: str, line: int) -> ast.FunctionDef:
+        self._expect_punct("(")
+        params: list[ast.Parameter] = []
+        variadic = False
+        if not self._current.is_punct(")"):
+            if self._current.is_keyword("void") and self._peek().is_punct(")"):
+                self._advance()
+            else:
+                while True:
+                    if self._current.is_punct("..."):
+                        self._advance()
+                        variadic = True
+                        break
+                    param_base = self._parse_declaration_specifiers()
+                    param_type, param_name, param_line = self._parse_declarator(param_base)
+                    if isinstance(param_type, ArrayType):
+                        param_type = PointerType(pointee=param_type.element)
+                    params.append(ast.Parameter(name=param_name, ctype=param_type, line=param_line))
+                    if not self._accept_punct(","):
+                        break
+        self._expect_punct(")")
+        if self._accept_punct(";"):
+            # Forward declaration / prototype: record nothing (intrinsics and
+            # later definitions provide the body).
+            return ast.FunctionDef(name=name, return_type=return_type, params=params,
+                                   body=None, variadic=variadic, line=line)
+        body = self._parse_block()
+        return ast.FunctionDef(
+            name=name, return_type=return_type, params=params, body=body, variadic=variadic, line=line
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect_punct("{")
+        block = ast.Block(line=start.line)
+        while not self._current.is_punct("}"):
+            block.statements.append(self._parse_statement())
+        self._expect_punct("}")
+        return block
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._current
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("do"):
+            return self._parse_do_while()
+        if token.is_keyword("return"):
+            self._advance()
+            value = None
+            if not self._current.is_punct(";"):
+                value = self._parse_expression()
+            self._expect_punct(";")
+            return ast.Return(value=value, line=token.line)
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Break(line=token.line)
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Continue(line=token.line)
+        if self._starts_type(token) and not token.is_keyword("sizeof"):
+            return self._parse_local_declaration()
+        if token.is_punct(";"):
+            self._advance()
+            return ast.ExprStmt(expr=None, line=token.line)
+        expr = self._parse_expression()
+        self._expect_punct(";")
+        return ast.ExprStmt(expr=expr, line=token.line)
+
+    def _parse_local_declaration(self) -> ast.Stmt:
+        line = self._current.line
+        base = self._parse_declaration_specifiers()
+        statements: list[ast.Stmt] = []
+        while True:
+            ctype, name, decl_line = self._parse_declarator(base)
+            declaration = ast.Declaration(name=name, ctype=ctype, line=decl_line)
+            if self._accept_punct("="):
+                if self._current.is_punct("{"):
+                    declaration.array_initializer = self._parse_brace_initializer()
+                else:
+                    declaration.initializer = self._parse_assignment()
+            statements.append(declaration)
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        if len(statements) == 1:
+            return statements[0]
+        return ast.Block(statements=statements, line=line, transparent=True)
+
+    def _parse_if(self) -> ast.If:
+        token = self._advance()
+        self._expect_punct("(")
+        condition = self._parse_expression()
+        self._expect_punct(")")
+        then_branch = self._parse_statement()
+        else_branch = None
+        if self._accept_keyword("else"):
+            else_branch = self._parse_statement()
+        return ast.If(condition=condition, then_branch=then_branch, else_branch=else_branch, line=token.line)
+
+    def _parse_while(self) -> ast.While:
+        token = self._advance()
+        self._expect_punct("(")
+        condition = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.While(condition=condition, body=body, line=token.line)
+
+    def _parse_do_while(self) -> ast.Stmt:
+        """``do body while (cond);`` desugared to ``body; while (cond) body;``."""
+        token = self._advance()
+        body = self._parse_statement()
+        if not self._accept_keyword("while"):
+            raise self._error("expected 'while' after do-body")
+        self._expect_punct("(")
+        condition = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        loop = ast.While(condition=condition, body=body, line=token.line)
+        return ast.Block(statements=[body, loop], line=token.line)
+
+    def _parse_for(self) -> ast.For:
+        token = self._advance()
+        self._expect_punct("(")
+        init: ast.Stmt | None = None
+        if not self._current.is_punct(";"):
+            if self._starts_type():
+                init = self._parse_local_declaration()
+            else:
+                init = ast.ExprStmt(expr=self._parse_expression(), line=self._current.line)
+                self._expect_punct(";")
+        else:
+            self._advance()
+        condition = None
+        if not self._current.is_punct(";"):
+            condition = self._parse_expression()
+        self._expect_punct(";")
+        step = None
+        if not self._current.is_punct(")"):
+            step = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.For(init=init, condition=condition, step=step, body=body, line=token.line)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        token = self._current
+        if token.kind is TokenKind.PUNCT and token.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(op=token.text, target=left, value=value, line=token.line)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        condition = self._parse_binary(0)
+        if self._current.is_punct("?"):
+            token = self._advance()
+            then_value = self._parse_expression()
+            self._expect_punct(":")
+            else_value = self._parse_conditional()
+            return ast.Conditional(
+                condition=condition, then_value=then_value, else_value=else_value, line=token.line
+            )
+        return condition
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._current
+            if token.kind is not TokenKind.PUNCT:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(op=token.text, left=left, right=right, line=token.line)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._current
+        if token.kind is TokenKind.PUNCT and token.text in ("-", "+", "!", "~", "*", "&"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(op=token.text, operand=operand, line=token.line)
+        if token.is_punct("++") or token.is_punct("--"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.IncDec(op=token.text, operand=operand, is_prefix=True, line=token.line)
+        if token.is_keyword("sizeof"):
+            self._advance()
+            if self._current.is_punct("(") and self._starts_type(self._peek()):
+                self._expect_punct("(")
+                target_type = self._parse_type_name()
+                self._expect_punct(")")
+                return ast.SizeofType(target_type=target_type, line=token.line)
+            operand = self._parse_unary()
+            return ast.SizeofExpr(operand=operand, line=token.line)
+        if token.is_punct("(") and self._starts_type(self._peek()):
+            self._advance()
+            target_type = self._parse_type_name()
+            self._expect_punct(")")
+            operand = self._parse_unary()
+            return ast.Cast(target_type=target_type, operand=operand, line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._current
+            if token.is_punct("["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect_punct("]")
+                expr = ast.Index(base=expr, index=index, line=token.line)
+            elif token.is_punct("."):
+                self._advance()
+                member = self._expect_ident().text
+                expr = ast.Member(base=expr, member=member, arrow=False, line=token.line)
+            elif token.is_punct("->"):
+                self._advance()
+                member = self._expect_ident().text
+                expr = ast.Member(base=expr, member=member, arrow=True, line=token.line)
+            elif token.is_punct("++") or token.is_punct("--"):
+                self._advance()
+                expr = ast.IncDec(op=token.text, operand=expr, is_prefix=False, line=token.line)
+            elif token.is_punct("(") and isinstance(expr, ast.Identifier) and expr.name == "offsetof":
+                self._advance()
+                target_type = self._parse_type_name()
+                self._expect_punct(",")
+                member = self._expect_ident().text
+                self._expect_punct(")")
+                expr = ast.OffsetOf(target_type=target_type, member=member, line=token.line)
+            elif token.is_punct("(") and isinstance(expr, ast.Identifier):
+                self._advance()
+                args: list[ast.Expr] = []
+                while not self._current.is_punct(")"):
+                    args.append(self._parse_assignment())
+                    if not self._accept_punct(","):
+                        break
+                self._expect_punct(")")
+                expr = ast.Call(callee=expr.name, args=args, line=token.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLiteral(value=int(token.value), line=token.line)
+        if token.kind is TokenKind.CHAR:
+            self._advance()
+            return ast.CharLiteral(value=int(token.value), line=token.line)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            # adjacent string literals concatenate
+            text = str(token.value)
+            while self._current.kind is TokenKind.STRING:
+                text += str(self._advance().value)
+            return ast.StringLiteral(value=text, line=token.line)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.Identifier(name=token.text, line=token.line)
+        if token.is_punct("("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise self._error("expected an expression")

@@ -1,0 +1,35 @@
+"""The CHERI softcore machine simulator.
+
+The simulator executes programs assembled by :class:`repro.isa.assembler.Assembler`
+on a functional model of the CHERI-MIPS machine:
+
+* :mod:`repro.sim.memory` — byte-addressable tagged memory (one tag bit per
+  256-bit capability-sized line), including the tag-clearing behaviour on
+  non-capability stores that the paper relies on for union safety.
+* :mod:`repro.sim.cache` — a two-level set-associative cache model with the
+  evaluation platform's geometry (16 KB L1, 64 KB L2) used for the
+  cycle-approximate timing results.
+* :mod:`repro.sim.cpu` — the fetch/decode/execute loop, capability-checked
+  memory access paths, trap handling, and the CHERIv2/v3 mode switch.
+* :mod:`repro.sim.syscalls` — the minimal OS layer (exit, putchar, sbrk) used
+  by assembly test programs.
+"""
+
+from repro.sim.memory import TaggedMemory
+from repro.sim.cache import CacheLevel, MemoryHierarchy, AccessStats
+from repro.sim.cpu import CheriCpu, CpuState
+from repro.sim.syscalls import SyscallHandler, SYS_EXIT, SYS_PUTCHAR, SYS_SBRK, SYS_WRITE
+
+__all__ = [
+    "TaggedMemory",
+    "CacheLevel",
+    "MemoryHierarchy",
+    "AccessStats",
+    "CheriCpu",
+    "CpuState",
+    "SyscallHandler",
+    "SYS_EXIT",
+    "SYS_PUTCHAR",
+    "SYS_SBRK",
+    "SYS_WRITE",
+]

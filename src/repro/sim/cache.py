@@ -1,0 +1,164 @@
+"""Cycle-approximate cache and DRAM timing model.
+
+The paper's performance results (Figures 1-4) are driven by one architectural
+mechanism: CHERI capabilities are 256 bits, so pointer-dense data structures
+occupy four times the cache footprint of 64-bit pointers, and pointer-chasing
+workloads (Olden) pay extra cache misses while compute-bound workloads
+(Dhrystone) and streaming workloads (tcpdump, zlib) do not.  The evaluation
+platform is described in §5.2: 16 KB L1 data cache, 64 KB L2, with DRAM that
+is fast relative to the 100 MHz core.
+
+This module supplies that mechanism to both execution engines:
+
+* the ISA simulator feeds every data access through a :class:`MemoryHierarchy`
+  and accumulates stall cycles;
+* the abstract-machine interpreter (used for the workload figures) feeds its
+  memory-access stream through the same hierarchy, so the MIPS-ABI and
+  capability-ABI builds of a workload differ exactly where the paper says they
+  do — in the size of the pointers they move through the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import CacheConfig, TimingConfig
+
+
+@dataclass
+class AccessStats:
+    """Counters accumulated by a cache level or by the whole hierarchy."""
+
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "AccessStats") -> "AccessStats":
+        return AccessStats(
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+        )
+
+
+class CacheLevel:
+    """A set-associative cache with true-LRU replacement.
+
+    Only presence/absence is modelled (no data storage): the simulator and the
+    interpreter keep the authoritative memory contents, and the cache decides
+    how many cycles each access costs.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = AccessStats()
+        # each set maps line tag -> LRU timestamp
+        self._sets: list[dict[int, int]] = [dict() for _ in range(config.num_sets)]
+        self._clock = 0
+
+    def reset(self) -> None:
+        """Drop all cached lines and statistics."""
+        self.stats = AccessStats()
+        self._sets = [dict() for _ in range(self.config.num_sets)]
+        self._clock = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.config.line_bytes
+        set_index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        return set_index, tag
+
+    def access(self, address: int, *, is_write: bool) -> bool:
+        """Touch the line containing ``address``; return True on a hit."""
+        self._clock += 1
+        set_index, tag = self._locate(address)
+        cache_set = self._sets[set_index]
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if tag in cache_set:
+            cache_set[tag] = self._clock
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.config.associativity:
+            victim = min(cache_set, key=cache_set.get)
+            del cache_set[victim]
+        cache_set[tag] = self._clock
+        return False
+
+    def lines_touched(self, address: int, size: int) -> list[int]:
+        """Addresses of the first byte of every cache line the access covers."""
+        first = address - (address % self.config.line_bytes)
+        last = (address + max(size, 1) - 1) - ((address + max(size, 1) - 1) % self.config.line_bytes)
+        return list(range(first, last + 1, self.config.line_bytes))
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated statistics for a full run through the hierarchy."""
+
+    l1: AccessStats = field(default_factory=AccessStats)
+    l2: AccessStats = field(default_factory=AccessStats)
+    dram_accesses: int = 0
+    stall_cycles: int = 0
+
+
+class MemoryHierarchy:
+    """Two-level cache + DRAM latency model matching the evaluation platform."""
+
+    def __init__(self, timing: TimingConfig | None = None) -> None:
+        self.timing = timing or TimingConfig()
+        self.l1 = CacheLevel(self.timing.l1, "L1")
+        self.l2 = CacheLevel(self.timing.l2, "L2")
+        self.dram_accesses = 0
+        self.stall_cycles = 0
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+        self.dram_accesses = 0
+        self.stall_cycles = 0
+
+    def access(self, address: int, size: int, *, is_write: bool = False) -> int:
+        """Model an access of ``size`` bytes at ``address``; return its cycles.
+
+        Accesses larger than a cache line (e.g. a 32-byte capability store
+        with 64-byte lines stays within one line, but a misaligned multi-line
+        access would not) touch every covered line.
+        """
+        total = 0
+        for line_address in self.l1.lines_touched(address, size):
+            total += self._access_line(line_address, is_write=is_write)
+        self.stall_cycles += total
+        return total
+
+    def _access_line(self, address: int, *, is_write: bool) -> int:
+        cycles = self.timing.l1.hit_latency
+        if self.l1.access(address, is_write=is_write):
+            return cycles
+        cycles += self.timing.l2.hit_latency
+        if self.l2.access(address, is_write=is_write):
+            return cycles
+        self.dram_accesses += 1
+        return cycles + self.timing.dram_latency
+
+    def stats(self) -> HierarchyStats:
+        return HierarchyStats(
+            l1=self.l1.stats,
+            l2=self.l2.stats,
+            dram_accesses=self.dram_accesses,
+            stall_cycles=self.stall_cycles,
+        )

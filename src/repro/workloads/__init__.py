@@ -1,0 +1,28 @@
+"""Workloads used by the paper's whole-program evaluation (§5.2).
+
+Each module provides mini-C sources and a ``run`` helper:
+
+* :mod:`repro.workloads.olden` — the four Olden kernels the paper reports in
+  Figure 1 (bisort, mst, treeadd, perimeter): pointer-based data structures,
+  the worst case for 256-bit capabilities;
+* :mod:`repro.workloads.dhrystone` — the integer/string benchmark of
+  Figure 2;
+* :mod:`repro.workloads.tcpdump` — a packet dissector over a synthetic
+  trace, standing in for tcpdump processing the OSDI'06 trace (Figure 3 and
+  the porting study in Table 4);
+* :mod:`repro.workloads.zlib_like` — an LZ77-style compressor with both the
+  annotated and the structure-copying library ABI of Figure 4.
+"""
+
+from repro.workloads.harness import WorkloadRun, run_workload, compare_models
+from repro.workloads import olden, dhrystone, tcpdump, zlib_like
+
+__all__ = [
+    "WorkloadRun",
+    "run_workload",
+    "compare_models",
+    "olden",
+    "dhrystone",
+    "tcpdump",
+    "zlib_like",
+]

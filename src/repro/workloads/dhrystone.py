@@ -1,0 +1,234 @@
+"""Dhrystone (paper Figure 2).
+
+Dhrystone is the classic integer benchmark: a fixed mix of assignments,
+control flow, procedure calls, string copies/comparisons and one small
+record structure.  Pointer-dense data structures are absent, so the paper
+finds CHERI runs "around 2% faster ... well within the margin of error" —
+the expected shape is *no meaningful difference* between the MIPS ABI and
+either capability ABI.
+
+The mini-C version is a condensation of the reference benchmark: the global
+record, the character/string globals, and procedures modelled on Proc1-Proc8
+and Func1-Func3, iterated ``runs`` times.  The paper runs 500,000 iterations
+on the FPGA; the simulated default is smaller and configurable.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.harness import WorkloadRun, run_workload
+
+DEFAULT_RUNS = 400
+
+_TEMPLATE = r"""
+struct record {
+    struct record *next;
+    int discriminant;
+    int enum_component;
+    int int_component;
+    char string_component[32];
+};
+
+struct record *record_glob;
+struct record *next_record_glob;
+int int_glob;
+int bool_glob;
+char char1_glob;
+char char2_glob;
+int array1_glob[64];
+int array2_glob[64];
+
+int func1(int ch1, int ch2) {
+    int local = ch1;
+    if (local != ch2) {
+        return 1;
+    }
+    char1_glob = local;
+    return 0;
+}
+
+int func2(char *str1, char *str2) {
+    int index = 1;
+    int captured = 0;
+    while (index <= 1) {
+        if (func1(str1[index], str2[index + 1]) == 0) {
+            captured = 'A';
+            index++;
+        } else {
+            index++;
+        }
+    }
+    if (captured >= 'W' && captured <= 'Z') {
+        index = 7;
+    }
+    if (captured == 'R') {
+        return 1;
+    }
+    if (strcmp(str1, str2) > 0) {
+        index += 7;
+        int_glob = index;
+        return 1;
+    }
+    return 0;
+}
+
+int func3(int value) {
+    return value == 2 ? 1 : 0;
+}
+
+void proc7(int in1, int in2, int *out) {
+    int local = in1 + 2;
+    *out = in2 + local;
+}
+
+void proc8(int *arr1, int *arr2, int index, int value) {
+    int local = index + 5;
+    arr1[local] = value;
+    arr1[local + 1] = arr1[local];
+    arr1[local + 30] = local;
+    arr2[local] = local;
+    arr2[local + 1] = arr2[local] + 1;
+    int_glob = 5;
+}
+
+void proc6(int enum_in, int *enum_out) {
+    *enum_out = enum_in;
+    if (!func3(enum_in)) {
+        *enum_out = 3;
+    }
+    if (enum_in == 0) {
+        *enum_out = 0;
+    } else if (enum_in == 2) {
+        *enum_out = bool_glob ? 0 : 3;
+    } else {
+        *enum_out = 2;
+    }
+}
+
+void proc5(void) {
+    char1_glob = 'A';
+    bool_glob = 0;
+}
+
+void proc4(void) {
+    int local = char1_glob == 'A';
+    local = local | bool_glob;
+    char2_glob = 'B';
+}
+
+void proc3(struct record **target) {
+    if (record_glob != 0) {
+        *target = record_glob->next;
+    }
+    proc7(10, int_glob, &record_glob->int_component);
+}
+
+void proc2(int *value) {
+    int local = *value + 10;
+    int done = 0;
+    while (!done) {
+        if (char1_glob == 'A') {
+            local -= 1;
+            *value = local - int_glob;
+            done = 1;
+        } else {
+            done = 1;
+        }
+    }
+}
+
+void proc1(struct record *ptr) {
+    struct record *next = ptr->next;
+    next->int_component = ptr->int_component;
+    next->discriminant = ptr->discriminant;
+    next->next = ptr->next;
+    proc3(&next->next);
+    if (next->discriminant == 0) {
+        next->int_component = 6;
+        proc6(ptr->enum_component, &next->enum_component);
+        proc7(next->int_component, 10, &next->int_component);
+    } else {
+        memcpy(ptr, next, sizeof(struct record));
+    }
+}
+
+int main(void) {
+    int runs = %(runs)d;
+    int run_index;
+    int int1;
+    int int2;
+    int int3;
+    char string1[32];
+    char string2[32];
+
+    record_glob = (struct record *)malloc(sizeof(struct record));
+    next_record_glob = (struct record *)malloc(sizeof(struct record));
+    record_glob->next = next_record_glob;
+    next_record_glob->next = record_glob;
+    record_glob->discriminant = 0;
+    record_glob->enum_component = 2;
+    record_glob->int_component = 40;
+    next_record_glob->discriminant = 0;
+    next_record_glob->enum_component = 1;
+    next_record_glob->int_component = 7;
+    strcpy(record_glob->string_component, "DHRYSTONE PROGRAM SOME STRING");
+    strcpy(string1, "DHRYSTONE PROGRAM 1ST STRING");
+
+    int_glob = 0;
+    bool_glob = 0;
+    char1_glob = 'A';
+    char2_glob = 'B';
+
+    for (run_index = 0; run_index < runs; run_index++) {
+        proc5();
+        proc4();
+        int1 = 2;
+        int2 = 3;
+        strcpy(string2, "DHRYSTONE PROGRAM 2ND STRING");
+        bool_glob = !func2(string1, string2);
+        while (int1 < int2) {
+            int3 = 5 * int1 - int2;
+            proc7(int1, int2, &int3);
+            int1 += 1;
+        }
+        proc8(array1_glob, array2_glob, int1, int3);
+        proc1(record_glob);
+        if (char2_glob >= 'A') {
+            int2 = func3(2) ? 7 : 3;
+        }
+        int2 = int2 * int1;
+        int1 = int2 / int3;
+        int2 = 7 * (int2 - int3) - int1;
+        proc2(&int1);
+    }
+
+    mini_checkpoint(int_glob);
+    mini_checkpoint(int1);
+    /* The reference benchmark's self-check values. */
+    if (int_glob != 5) {
+        return 1;
+    }
+    if (char1_glob != 'A' || char2_glob != 'B') {
+        return 2;
+    }
+    return 0;
+}
+"""
+
+
+def source(*, runs: int = DEFAULT_RUNS) -> str:
+    """The Dhrystone program with the given iteration count."""
+    return _TEMPLATE % {"runs": runs}
+
+
+def run(model: str, *, runs: int = DEFAULT_RUNS) -> WorkloadRun:
+    """Run Dhrystone under a memory model and return the timed result."""
+    return run_workload("dhrystone", source(runs=runs), model)
+
+
+def dhrystones_per_second(workload_run: WorkloadRun, *, runs: int = DEFAULT_RUNS,
+                          clock_hz: int = 100_000_000) -> float:
+    """Convert a run into the Dhrystones-per-second metric Figure 2 plots."""
+    if workload_run.cycles == 0:
+        return 0.0
+    seconds = workload_run.cycles / clock_hz
+    return runs / seconds

@@ -1,0 +1,72 @@
+"""Common harness for running workloads under different memory models.
+
+The harness mirrors the paper's measurement setup: the same program is built
+for the MIPS ABI (8-byte pointers, no checks) and the two capability ABIs
+(256-bit capabilities, checks on every access), run on the same simulated
+memory hierarchy, and compared in simulated cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import InterpreterError
+from repro.core.api import compile_for_model
+from repro.interp.machine import AbstractMachine, ExecutionResult
+from repro.interp.models import get_model
+
+
+@dataclass
+class WorkloadRun:
+    """One workload execution under one memory model."""
+
+    workload: str
+    model: str
+    result: ExecutionResult
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.result.instructions
+
+    @property
+    def ok(self) -> bool:
+        return not self.result.trapped
+
+    def overhead_vs(self, baseline: "WorkloadRun") -> float:
+        """Relative cycle overhead against a baseline run (0.04 == +4%)."""
+        if baseline.cycles == 0:
+            return 0.0
+        return (self.cycles - baseline.cycles) / baseline.cycles
+
+
+def run_workload(name: str, source: str, model: str, *, entry: str = "main",
+                 max_instructions: int = 80_000_000) -> WorkloadRun:
+    """Compile ``source`` for ``model`` and execute it, failing on traps."""
+    module = compile_for_model(source, model)
+    machine = AbstractMachine(module, get_model(model), max_instructions=max_instructions)
+    result = machine.run(entry)
+    if result.trapped:
+        raise InterpreterError(
+            f"workload {name!r} trapped under model {model!r}: {result.trap}"
+        )
+    return WorkloadRun(workload=name, model=model, result=result)
+
+
+def compare_models(name: str, sources: dict[str, str], models: tuple[str, ...],
+                   *, entry: str = "main") -> dict[str, WorkloadRun]:
+    """Run a workload under several models.
+
+    ``sources`` maps a model name to the source variant to use for it, with
+    ``"default"`` as the fallback — this is how the CHERIv2 port of tcpdump
+    (which needs its pointer-subtraction bounds checks rewritten) is swapped
+    in only for the CHERIv2 run.
+    """
+    runs: dict[str, WorkloadRun] = {}
+    for model in models:
+        source = sources.get(model, sources["default"])
+        runs[model] = run_workload(name, source, model, entry=entry)
+    return runs

@@ -1,0 +1,27 @@
+"""Olden pointer-kernel benchmarks (paper Figure 1).
+
+The Olden suite "is heavy in pointer use and so demonstrates a worst case for
+CHERI" (§5.2): its kernels build and walk linked data structures, so the
+4× larger capability pointers inflate every node and the extra cache misses
+dominate.  The four kernels the paper reports are reproduced here as mini-C
+programs with the same data-structure shape (binary trees, linked lists, an
+adjacency-list graph, a quadtree); where the original Olden code relies on
+features outside mini-C the kernel is simplified while keeping its pointer
+behaviour (each module's docstring records the simplification).
+
+Every kernel verifies its own result and returns 0 from ``main`` on success,
+so a run that silently computes the wrong answer under some memory model is
+detected rather than timed.
+"""
+
+from repro.workloads.olden import bisort, mst, perimeter, treeadd
+
+#: kernels in the order Figure 1 plots them.
+KERNELS = {
+    "bisort": bisort,
+    "mst": mst,
+    "treeadd": treeadd,
+    "perimeter": perimeter,
+}
+
+__all__ = ["bisort", "mst", "perimeter", "treeadd", "KERNELS"]

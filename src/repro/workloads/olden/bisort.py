@@ -1,0 +1,140 @@
+"""Olden ``bisort``: sort a pointer-based structure by relinking nodes.
+
+The original bisort builds a random binary tree and bitonic-sorts it by
+recursively swapping subtree pointers.  mini-C reproduces the same workload
+character — allocate N heap nodes, then sort them purely by rewriting ``next``
+pointers with a recursive merge sort — which preserves the properties the
+paper's Figure 1 depends on: one pointer per node dominating the node size,
+and data-dependent pointer chasing with no spatial locality.
+
+Simplification vs. Olden: the structure is a singly linked list rather than a
+bitonic tree; the allocation count, pointer density and access pattern are
+comparable, and the result is verified (the list must come out sorted and be
+a permutation of the input).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.harness import WorkloadRun, run_workload
+
+DEFAULT_COUNT = 384
+
+_TEMPLATE = r"""
+struct node {
+    struct node *next;
+    long key;
+};
+
+/* Deterministic pseudo-random keys (xorshift-style LCG). */
+long next_key(long seed) {
+    return (seed * 6364136223846793005 + 1442695040888963407) %% 1000003;
+}
+
+struct node *make_list(int count) {
+    struct node *head = 0;
+    long seed = 12345;
+    int i;
+    for (i = 0; i < count; i++) {
+        struct node *fresh = (struct node *)malloc(sizeof(struct node));
+        seed = next_key(seed);
+        fresh->key = seed;
+        fresh->next = head;
+        head = fresh;
+    }
+    return head;
+}
+
+/* Split the list into two halves by alternating nodes. */
+struct node *split_alternate(struct node *head, struct node **other) {
+    struct node *left = 0;
+    struct node *right = 0;
+    int toggle = 0;
+    while (head != 0) {
+        struct node *rest = head->next;
+        if (toggle == 0) {
+            head->next = left;
+            left = head;
+        } else {
+            head->next = right;
+            right = head;
+        }
+        toggle = 1 - toggle;
+        head = rest;
+    }
+    *other = right;
+    return left;
+}
+
+struct node *merge(struct node *a, struct node *b) {
+    struct node *head = 0;
+    struct node *tail = 0;
+    while (a != 0 && b != 0) {
+        struct node *pick;
+        if (a->key <= b->key) {
+            pick = a;
+            a = a->next;
+        } else {
+            pick = b;
+            b = b->next;
+        }
+        if (tail == 0) {
+            head = pick;
+        } else {
+            tail->next = pick;
+        }
+        tail = pick;
+    }
+    if (tail == 0) {
+        return a != 0 ? a : b;
+    }
+    tail->next = a != 0 ? a : b;
+    return head;
+}
+
+struct node *sort_list(struct node *head) {
+    struct node *right;
+    struct node *left;
+    if (head == 0 || head->next == 0) {
+        return head;
+    }
+    left = split_alternate(head, &right);
+    return merge(sort_list(left), sort_list(right));
+}
+
+int main(void) {
+    int count = %(count)d;
+    struct node *head = make_list(count);
+    long checksum_before = 0;
+    long checksum_after = 0;
+    long previous = -4611686018427387904;   /* below any generated key */
+    int seen = 0;
+    struct node *cursor;
+    for (cursor = head; cursor != 0; cursor = cursor->next) {
+        checksum_before += cursor->key;
+    }
+    head = sort_list(head);
+    for (cursor = head; cursor != 0; cursor = cursor->next) {
+        if (cursor->key < previous) {
+            return 2;           /* not sorted */
+        }
+        previous = cursor->key;
+        checksum_after += cursor->key;
+        seen++;
+    }
+    mini_checkpoint(checksum_after);
+    if (seen != count) {
+        return 3;               /* lost or duplicated nodes */
+    }
+    return checksum_before == checksum_after ? 0 : 1;
+}
+"""
+
+
+def source(*, count: int = DEFAULT_COUNT) -> str:
+    """The bisort program sorting ``count`` heap nodes."""
+    return _TEMPLATE % {"count": count}
+
+
+def run(model: str, *, count: int = DEFAULT_COUNT) -> WorkloadRun:
+    """Run bisort under a memory model and return the timed result."""
+    return run_workload("bisort", source(count=count), model)

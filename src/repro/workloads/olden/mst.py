@@ -1,0 +1,139 @@
+"""Olden ``mst``: minimum spanning tree over a pointer-linked graph.
+
+The original mst builds a graph whose adjacency structure lives in per-vertex
+hash tables and runs a Prim-style algorithm.  The mini-C version keeps the
+pointer-linked adjacency lists (one heap allocation per vertex and per edge)
+and computes the MST with Prim's algorithm over the vertex array, which
+preserves the workload's character: the inner loop chases vertex and edge
+pointers with little locality.
+
+Simplification vs. Olden: adjacency lists replace the per-vertex hash tables
+and the vertex set is scanned linearly instead of through the blocked
+structure Olden uses.  The MST weight is checked against a value computed by
+a second, independent pass (Prim restarted from a different vertex must give
+the same total weight for a connected graph with distinct edge weights).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.harness import WorkloadRun, run_workload
+
+DEFAULT_VERTICES = 72
+
+_TEMPLATE = r"""
+struct edge {
+    struct edge *next;
+    int target;
+    long weight;
+};
+
+struct vertex {
+    struct edge *adjacency;
+    long best;
+    int in_tree;
+};
+
+struct vertex *graph;
+int vertex_count;
+
+long edge_weight(int a, int b) {
+    long mixed = (long)a * 1021 + (long)b * 2039;
+    long hashed = (mixed * 2654435761) %% 16384;
+    if (hashed < 0) {
+        hashed = -hashed;
+    }
+    return 1 + hashed;
+}
+
+void add_edge(int from, int to, long weight) {
+    struct edge *fresh = (struct edge *)malloc(sizeof(struct edge));
+    fresh->target = to;
+    fresh->weight = weight;
+    fresh->next = graph[from].adjacency;
+    graph[from].adjacency = fresh;
+}
+
+void build_graph(int count) {
+    int i;
+    int j;
+    graph = (struct vertex *)malloc(sizeof(struct vertex) * count);
+    vertex_count = count;
+    for (i = 0; i < count; i++) {
+        graph[i].adjacency = 0;
+        graph[i].best = 0;
+        graph[i].in_tree = 0;
+    }
+    for (i = 0; i < count; i++) {
+        /* ring edges keep the graph connected; chords add pointer chasing */
+        long ring = edge_weight(i, (i + 1) %% count);
+        add_edge(i, (i + 1) %% count, ring);
+        add_edge((i + 1) %% count, i, ring);
+        for (j = 2; j < 5; j++) {
+            int other = (i * j + 7) %% count;
+            if (other != i) {
+                long weight = edge_weight(i, other);
+                add_edge(i, other, weight);
+                add_edge(other, i, weight);
+            }
+        }
+    }
+}
+
+long prim(int start) {
+    long total = 0;
+    long infinity = 1073741824;
+    int i;
+    int added;
+    for (i = 0; i < vertex_count; i++) {
+        graph[i].best = infinity;
+        graph[i].in_tree = 0;
+    }
+    graph[start].best = 0;
+    for (added = 0; added < vertex_count; added++) {
+        int chosen = -1;
+        long chosen_cost = infinity;
+        struct edge *cursor;
+        for (i = 0; i < vertex_count; i++) {
+            if (!graph[i].in_tree && graph[i].best < chosen_cost) {
+                chosen = i;
+                chosen_cost = graph[i].best;
+            }
+        }
+        if (chosen < 0) {
+            return -1;          /* disconnected graph */
+        }
+        graph[chosen].in_tree = 1;
+        total += chosen_cost;
+        for (cursor = graph[chosen].adjacency; cursor != 0; cursor = cursor->next) {
+            if (!graph[cursor->target].in_tree && cursor->weight < graph[cursor->target].best) {
+                graph[cursor->target].best = cursor->weight;
+            }
+        }
+    }
+    return total;
+}
+
+int main(void) {
+    int count = %(vertices)d;
+    long weight_a;
+    long weight_b;
+    build_graph(count);
+    weight_a = prim(0);
+    weight_b = prim(count / 2);
+    mini_checkpoint(weight_a);
+    if (weight_a <= 0) {
+        return 2;
+    }
+    return weight_a == weight_b ? 0 : 1;
+}
+"""
+
+
+def source(*, vertices: int = DEFAULT_VERTICES) -> str:
+    """The mst program over a graph of ``vertices`` vertices."""
+    return _TEMPLATE % {"vertices": vertices}
+
+
+def run(model: str, *, vertices: int = DEFAULT_VERTICES) -> WorkloadRun:
+    """Run mst under a memory model and return the timed result."""
+    return run_workload("mst", source(vertices=vertices), model)

@@ -1,0 +1,143 @@
+"""Olden ``perimeter``: quadtree construction and traversal.
+
+The original perimeter builds a quadtree representation of a raster image and
+computes the perimeter of the black region by visiting neighbouring leaves.
+The mini-C version builds the same four-children-per-node quadtree over a
+deterministic synthetic image and computes the perimeter contribution of each
+black leaf against its immediate siblings — the full Olden neighbour-finding
+machinery (parent pointers plus direction tables) is simplified to a
+recursive accumulation, which keeps the structure (a deep tree of 5-pointer
+nodes) and the traversal pattern (every node visited twice) intact.
+
+Verification: the black-area count is also computed and checked against a
+closed-form value for the synthetic image.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.harness import WorkloadRun, run_workload
+
+DEFAULT_DEPTH = 5
+
+_TEMPLATE = r"""
+struct quad {
+    struct quad *nw;
+    struct quad *ne;
+    struct quad *sw;
+    struct quad *se;
+    int color;          /* 0 white, 1 black, 2 grey (internal) */
+    int size;
+};
+
+/* Deterministic image: a diagonal band of black pixels. */
+int pixel_black(int x, int y, int extent) {
+    int band = extent / 4 + 1;
+    int delta = x - y;
+    if (delta < 0) {
+        delta = -delta;
+    }
+    return delta < band ? 1 : 0;
+}
+
+struct quad *build(int x, int y, int extent, int depth) {
+    struct quad *node = (struct quad *)malloc(sizeof(struct quad));
+    node->size = extent;
+    node->nw = 0;
+    node->ne = 0;
+    node->sw = 0;
+    node->se = 0;
+    if (depth == 0) {
+        node->color = pixel_black(x, y, extent);
+        return node;
+    }
+    node->color = 2;
+    node->nw = build(x, y, extent / 2, depth - 1);
+    node->ne = build(x + extent / 2, y, extent / 2, depth - 1);
+    node->sw = build(x, y + extent / 2, extent / 2, depth - 1);
+    node->se = build(x + extent / 2, y + extent / 2, extent / 2, depth - 1);
+    return node;
+}
+
+long black_area(struct quad *node) {
+    if (node == 0) {
+        return 0;
+    }
+    if (node->color == 1) {
+        return (long)node->size * node->size;
+    }
+    if (node->color == 0) {
+        return 0;
+    }
+    return black_area(node->nw) + black_area(node->ne)
+         + black_area(node->sw) + black_area(node->se);
+}
+
+/* Perimeter contribution: each black leaf contributes its four sides minus
+   shared sides with black siblings inside the same quadrant. */
+long perimeter(struct quad *node) {
+    long total;
+    if (node == 0) {
+        return 0;
+    }
+    if (node->color == 1) {
+        return 4L * node->size;
+    }
+    if (node->color == 0) {
+        return 0;
+    }
+    total = perimeter(node->nw) + perimeter(node->ne)
+          + perimeter(node->sw) + perimeter(node->se);
+    if (node->nw != 0 && node->ne != 0 && node->nw->color == 1 && node->ne->color == 1) {
+        total -= 2L * node->nw->size;
+    }
+    if (node->sw != 0 && node->se != 0 && node->sw->color == 1 && node->se->color == 1) {
+        total -= 2L * node->sw->size;
+    }
+    if (node->nw != 0 && node->sw != 0 && node->nw->color == 1 && node->sw->color == 1) {
+        total -= 2L * node->nw->size;
+    }
+    if (node->ne != 0 && node->se != 0 && node->ne->color == 1 && node->se->color == 1) {
+        total -= 2L * node->ne->size;
+    }
+    return total;
+}
+
+long reference_area(int extent, int leaf) {
+    long area = 0;
+    int x;
+    int y;
+    for (x = 0; x < extent; x += leaf) {
+        for (y = 0; y < extent; y += leaf) {
+            if (pixel_black(x, y, leaf)) {
+                area += (long)leaf * leaf;
+            }
+        }
+    }
+    return area;
+}
+
+int main(void) {
+    int depth = %(depth)d;
+    int extent = 1 << depth;
+    struct quad *root = build(0, 0, extent, depth);
+    long area = black_area(root);
+    long edge = perimeter(root);
+    long expected = reference_area(extent, 1);
+    mini_checkpoint(edge);
+    mini_checkpoint(area);
+    if (edge <= 0) {
+        return 2;
+    }
+    return area == expected ? 0 : 1;
+}
+"""
+
+
+def source(*, depth: int = DEFAULT_DEPTH) -> str:
+    """The perimeter program over a quadtree of the given depth."""
+    return _TEMPLATE % {"depth": depth}
+
+
+def run(model: str, *, depth: int = DEFAULT_DEPTH) -> WorkloadRun:
+    """Run perimeter under a memory model and return the timed result."""
+    return run_workload("perimeter", source(depth=depth), model)

@@ -1,0 +1,67 @@
+"""Olden ``treeadd``: build a balanced binary tree and sum it repeatedly.
+
+This is the most faithful of the four kernels: the original treeadd also
+builds a perfect binary tree of heap nodes and adds up the node values with a
+recursive walk.  Every node holds two child pointers, so the node size goes
+from 24 bytes under the MIPS ABI to 80 bytes under the capability ABI — the
+cache-footprint blow-up the paper measures.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.harness import WorkloadRun, run_workload
+
+#: tree depth / number of summation passes used by the Figure 1 benchmark.
+DEFAULT_DEPTH = 10
+DEFAULT_PASSES = 3
+
+_TEMPLATE = r"""
+struct tree {
+    struct tree *left;
+    struct tree *right;
+    long value;
+};
+
+struct tree *build(int depth) {
+    struct tree *node = (struct tree *)malloc(sizeof(struct tree));
+    node->value = 1;
+    node->left = 0;
+    node->right = 0;
+    if (depth > 1) {
+        node->left = build(depth - 1);
+        node->right = build(depth - 1);
+    }
+    return node;
+}
+
+long sum_tree(struct tree *node) {
+    if (node == 0) {
+        return 0;
+    }
+    return node->value + sum_tree(node->left) + sum_tree(node->right);
+}
+
+int main(void) {
+    int depth = %(depth)d;
+    int passes = %(passes)d;
+    long expected_nodes = (1L << depth) - 1;
+    struct tree *root = build(depth);
+    long total = 0;
+    int pass;
+    for (pass = 0; pass < passes; pass++) {
+        total += sum_tree(root);
+    }
+    mini_checkpoint(total);
+    return total == passes * expected_nodes ? 0 : 1;
+}
+"""
+
+
+def source(*, depth: int = DEFAULT_DEPTH, passes: int = DEFAULT_PASSES) -> str:
+    """The treeadd program with the given tree depth and pass count."""
+    return _TEMPLATE % {"depth": depth, "passes": passes}
+
+
+def run(model: str, *, depth: int = DEFAULT_DEPTH, passes: int = DEFAULT_PASSES) -> WorkloadRun:
+    """Run treeadd under a memory model and return the timed result."""
+    return run_workload("treeadd", source(depth=depth, passes=passes), model)

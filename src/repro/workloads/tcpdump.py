@@ -1,0 +1,354 @@
+"""A tcpdump-style packet dissector (paper Figure 3 and the Table 4 port).
+
+The paper measures tcpdump processing the first 100,000 packets of the
+OSDI'06 wireless trace.  That trace is not available offline, so the workload
+generates a deterministic synthetic trace in-memory (Ethernet / IPv4 / TCP or
+UDP packets with pseudo-random sizes and fields) and dissects it the way
+tcpdump's printers do: walking a cursor through the packet buffer with
+pointer arithmetic and **hand-crafted bounds checks** before every field
+access — the style the paper calls out as "ironically, frequently in service
+of hand-crafted software bounds checking".
+
+Two source variants are provided:
+
+* :data:`BASELINE_SOURCE` checks remaining space with pointer subtraction
+  (``end - cursor < n``), which is how the real code is written.  It runs on
+  the PDP-11 model and on CHERIv3, and is the input to the porting analysis.
+* :data:`CHERI_V2_SOURCE` is the CHERIv2 port: the same dissector with the
+  pointer-subtraction checks rewritten to track an integer ``remaining``
+  count, mirroring the ~1.6 kLoC of semantic changes the paper reports.
+
+The dissector counts packets per protocol and checks the totals, so a run
+that misparses under some model fails instead of being silently timed.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.harness import WorkloadRun, compare_models, run_workload
+
+DEFAULT_PACKETS = 150
+
+_COMMON = r"""
+/* ------------------------------------------------------------------ */
+/* Synthetic trace generation                                          */
+/* ------------------------------------------------------------------ */
+
+unsigned char trace[%(buffer_bytes)d];
+long trace_length;
+long generator_state;
+
+int next_random(int limit) {
+    generator_state = generator_state * 6364136223846793005 + 1442695040888963407;
+    long value = (generator_state >> 17) %% limit;
+    if (value < 0) {
+        value = -value;
+    }
+    return (int)value;
+}
+
+void put_byte(long offset, int value) {
+    trace[offset] = (unsigned char)(value & 255);
+}
+
+void put_be16(long offset, int value) {
+    put_byte(offset, (value >> 8) & 255);
+    put_byte(offset + 1, value & 255);
+}
+
+long build_packet(long offset, int index) {
+    int payload = 8 + next_random(48);
+    int use_tcp = next_random(100) < 70;
+    int transport = use_tcp ? 20 : 8;
+    int ip_total = 20 + transport + payload;
+    int frame = 14 + ip_total;
+    long cursor = offset;
+    int i;
+
+    put_be16(cursor, frame);              /* record header: frame length */
+    cursor += 2;
+
+    for (i = 0; i < 12; i++) {            /* MAC addresses */
+        put_byte(cursor + i, next_random(256));
+    }
+    put_be16(cursor + 12, 2048);          /* ethertype IPv4 */
+    cursor += 14;
+
+    put_byte(cursor, 69);                 /* version 4, header length 5 */
+    put_byte(cursor + 1, 0);
+    put_be16(cursor + 2, ip_total);
+    put_be16(cursor + 4, index);
+    put_be16(cursor + 6, 0);
+    put_byte(cursor + 8, 64);             /* TTL */
+    put_byte(cursor + 9, use_tcp ? 6 : 17);
+    put_be16(cursor + 10, 0);
+    for (i = 12; i < 20; i++) {
+        put_byte(cursor + i, next_random(256));
+    }
+    cursor += 20;
+
+    if (use_tcp) {
+        put_be16(cursor, 1024 + next_random(60000));
+        put_be16(cursor + 2, next_random(2) ? 80 : 443);
+        for (i = 4; i < 12; i++) {
+            put_byte(cursor + i, next_random(256));
+        }
+        put_byte(cursor + 12, 80);        /* data offset 5 words */
+        put_byte(cursor + 13, 16);        /* ACK flag */
+        put_be16(cursor + 14, 8192);
+        put_be16(cursor + 16, 0);
+        put_be16(cursor + 18, 0);
+        cursor += 20;
+    } else {
+        put_be16(cursor, 1024 + next_random(60000));
+        put_be16(cursor + 2, 53);
+        put_be16(cursor + 4, 8 + payload);
+        put_be16(cursor + 6, 0);
+        cursor += 8;
+    }
+
+    for (i = 0; i < payload; i++) {
+        put_byte(cursor + i, next_random(256));
+    }
+    return cursor + payload;
+}
+
+long build_trace(int packets) {
+    long offset = 0;
+    int i;
+    generator_state = 88172645463325252;
+    for (i = 0; i < packets; i++) {
+        offset = build_packet(offset, i);
+    }
+    return offset;
+}
+
+/* ------------------------------------------------------------------ */
+/* Dissector state                                                     */
+/* ------------------------------------------------------------------ */
+
+long packets_seen;
+long tcp_seen;
+long udp_seen;
+long other_seen;
+long truncated_seen;
+long octets_seen;
+
+int read_be16(const unsigned char *p) {
+    return ((int)p[0] << 8) | (int)p[1];
+}
+"""
+
+_BASELINE_DISSECTOR = r"""
+/* Bounds checking in the original style: pointer subtraction against the
+   end of the capture buffer before every access. */
+
+int dissect_packet(const unsigned char *frame, const unsigned char *end) {
+    const unsigned char *cursor = frame;
+    int ethertype;
+    int header_len;
+    int protocol;
+    int ip_total;
+
+    if (end - cursor < 14) {
+        truncated_seen++;
+        return 0;
+    }
+    ethertype = read_be16(cursor + 12);
+    cursor += 14;
+    if (ethertype != 2048) {
+        other_seen++;
+        return 1;
+    }
+    if (end - cursor < 20) {
+        truncated_seen++;
+        return 0;
+    }
+    header_len = (cursor[0] & 15) * 4;
+    ip_total = read_be16(cursor + 2);
+    protocol = cursor[9];
+    if (end - cursor < header_len) {
+        truncated_seen++;
+        return 0;
+    }
+    cursor += header_len;
+    if (protocol == 6) {
+        if (end - cursor < 20) {
+            truncated_seen++;
+            return 0;
+        }
+        tcp_seen++;
+        octets_seen += read_be16(cursor + 14);
+    } else if (protocol == 17) {
+        if (end - cursor < 8) {
+            truncated_seen++;
+            return 0;
+        }
+        udp_seen++;
+        octets_seen += read_be16(cursor + 4);
+    } else {
+        other_seen++;
+    }
+    return 1;
+}
+
+void dissect_trace(const unsigned char *buffer, long length) {
+    const unsigned char *cursor = buffer;
+    const unsigned char *end = buffer + length;
+    while (end - cursor >= 2) {
+        int frame_length = read_be16(cursor);
+        cursor += 2;
+        if (end - cursor < frame_length) {
+            truncated_seen++;
+            return;
+        }
+        packets_seen++;
+        dissect_packet(cursor, cursor + frame_length);
+        cursor += frame_length;
+    }
+}
+"""
+
+_CHERI_V2_DISSECTOR = r"""
+/* The CHERIv2 port: the same dissector with every pointer-subtraction bounds
+   check rewritten to track an explicit remaining-byte count, because the
+   CHERIv2 capability model cannot express pointer subtraction. */
+
+int dissect_packet(const unsigned char *frame, long available) {
+    const unsigned char *cursor = frame;
+    long remaining = available;
+    int ethertype;
+    int header_len;
+    int protocol;
+
+    if (remaining < 14) {
+        truncated_seen++;
+        return 0;
+    }
+    ethertype = read_be16(cursor + 12);
+    cursor += 14;
+    remaining -= 14;
+    if (ethertype != 2048) {
+        other_seen++;
+        return 1;
+    }
+    if (remaining < 20) {
+        truncated_seen++;
+        return 0;
+    }
+    header_len = (cursor[0] & 15) * 4;
+    protocol = cursor[9];
+    if (remaining < header_len) {
+        truncated_seen++;
+        return 0;
+    }
+    cursor += header_len;
+    remaining -= header_len;
+    if (protocol == 6) {
+        if (remaining < 20) {
+            truncated_seen++;
+            return 0;
+        }
+        tcp_seen++;
+        octets_seen += read_be16(cursor + 14);
+    } else if (protocol == 17) {
+        if (remaining < 8) {
+            truncated_seen++;
+            return 0;
+        }
+        udp_seen++;
+        octets_seen += read_be16(cursor + 4);
+    } else {
+        other_seen++;
+    }
+    return 1;
+}
+
+void dissect_trace(const unsigned char *buffer, long length) {
+    const unsigned char *cursor = buffer;
+    long remaining = length;
+    while (remaining >= 2) {
+        int frame_length = read_be16(cursor);
+        cursor += 2;
+        remaining -= 2;
+        if (remaining < frame_length) {
+            truncated_seen++;
+            return;
+        }
+        packets_seen++;
+        dissect_packet(cursor, frame_length);
+        cursor += frame_length;
+        remaining -= frame_length;
+    }
+}
+"""
+
+_MAIN = r"""
+int main(void) {
+    int packets = %(packets)d;
+    trace_length = build_trace(packets);
+    packets_seen = 0;
+    tcp_seen = 0;
+    udp_seen = 0;
+    other_seen = 0;
+    truncated_seen = 0;
+    octets_seen = 0;
+    dissect_trace(trace, trace_length);
+    mini_checkpoint(packets_seen);
+    mini_checkpoint(tcp_seen);
+    mini_checkpoint(udp_seen);
+    printf("%%d packets (%%d tcp, %%d udp, %%d other, %%d truncated)\n",
+           (int)packets_seen, (int)tcp_seen, (int)udp_seen,
+           (int)other_seen, (int)truncated_seen);
+    if (packets_seen != packets) {
+        return 1;
+    }
+    if (tcp_seen + udp_seen + other_seen != packets) {
+        return 2;
+    }
+    if (truncated_seen != 0) {
+        return 3;
+    }
+    return 0;
+}
+"""
+
+
+def _buffer_bytes(packets: int) -> int:
+    # worst-case frame: 2 + 14 + 20 + 20 + 56 payload = 112 bytes
+    return packets * 120 + 64
+
+
+def baseline_source(*, packets: int = DEFAULT_PACKETS) -> str:
+    """The original-style dissector (pointer-subtraction bounds checks)."""
+    params = {"packets": packets, "buffer_bytes": _buffer_bytes(packets)}
+    return (_COMMON % params) + _BASELINE_DISSECTOR + (_MAIN % params)
+
+
+def cheri_v2_source(*, packets: int = DEFAULT_PACKETS) -> str:
+    """The CHERIv2 port (integer remaining-length bounds checks)."""
+    params = {"packets": packets, "buffer_bytes": _buffer_bytes(packets)}
+    return (_COMMON % params) + _CHERI_V2_DISSECTOR + (_MAIN % params)
+
+
+#: default-size sources, importable as module constants.
+BASELINE_SOURCE = baseline_source()
+CHERI_V2_SOURCE = cheri_v2_source()
+
+#: the paper's CHERIv3 port adds two lines so tcpdump only has read-only
+#: access to the packet being parsed (the ``__input`` qualifier).
+HARDENING_LINES_V3 = 2
+
+
+def run(model: str, *, packets: int = DEFAULT_PACKETS) -> WorkloadRun:
+    """Run the dissector under one model, using the CHERIv2 port when needed."""
+    source = cheri_v2_source(packets=packets) if model == "cheri_v2" \
+        else baseline_source(packets=packets)
+    return run_workload("tcpdump", source, model)
+
+
+def run_figure3(models: tuple[str, ...] = ("pdp11", "cheri_v2", "cheri_v3"),
+                *, packets: int = DEFAULT_PACKETS) -> dict[str, WorkloadRun]:
+    """All Figure 3 bars: MIPS, CHERIv2 (ported source) and CHERIv3."""
+    sources = {"default": baseline_source(packets=packets),
+               "cheri_v2": cheri_v2_source(packets=packets)}
+    return compare_models("tcpdump", sources, models)

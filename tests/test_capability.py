@@ -1,0 +1,157 @@
+"""Tests for the CHERI capability model (repro.isa.capability)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import BoundsViolation, PermissionViolation, TagViolation
+from repro.isa.capability import (
+    CAPABILITY_SIZE,
+    Capability,
+    NULL_CAPABILITY,
+    Permission,
+    capability_from_int,
+    make_default_capability,
+)
+
+
+@pytest.fixture
+def cap():
+    return Capability(base=0x1000, length=0x100, offset=0x10,
+                      permissions=Permission.all_data(), tag=True)
+
+
+class TestBasics:
+    def test_address_is_base_plus_offset(self, cap):
+        assert cap.address == 0x1010
+        assert cap.top == 0x1100
+
+    def test_null_capability_is_untagged_zero(self):
+        assert not NULL_CAPABILITY.tag
+        assert NULL_CAPABILITY.base == 0 and NULL_CAPABILITY.length == 0
+
+    def test_default_capability_spans_memory(self):
+        cap = make_default_capability(1 << 20)
+        assert cap.tag and cap.base == 0 and cap.length == 1 << 20
+        assert cap.permissions & Permission.STORE
+
+    def test_capability_from_int_never_tagged(self):
+        value = capability_from_int(0xDEAD)
+        assert not value.tag
+        assert value.address == 0xDEAD
+
+    def test_in_bounds(self, cap):
+        assert cap.in_bounds(1)
+        assert cap.in_bounds(0x100, address=0x1000)
+        assert not cap.in_bounds(1, address=0x1100)
+        assert not cap.in_bounds(0x200, address=0x1000)
+
+    def test_capability_size_constant(self):
+        assert CAPABILITY_SIZE == 32
+
+
+class TestChecks:
+    def test_check_access_ok(self, cap):
+        assert cap.check_access(size=4, permission=Permission.LOAD) == 0x1010
+
+    def test_untagged_access_traps(self, cap):
+        with pytest.raises(TagViolation):
+            cap.without_tag().check_access(size=1, permission=Permission.LOAD)
+
+    def test_out_of_bounds_traps(self, cap):
+        with pytest.raises(BoundsViolation):
+            cap.check_access(size=1, permission=Permission.LOAD, address=0x1100)
+
+    def test_missing_permission_traps(self, cap):
+        read_only = cap.with_permissions_masked(Permission.read_only())
+        with pytest.raises(PermissionViolation):
+            read_only.check_access(size=1, permission=Permission.STORE)
+
+    def test_sealed_access_traps(self, cap):
+        sealable = cap.with_permissions_masked(Permission.all())
+        sealed = Capability(base=cap.base, length=cap.length, offset=cap.offset,
+                            permissions=Permission.all(), tag=True).sealed(7)
+        with pytest.raises(PermissionViolation):
+            sealed.check_access(size=1, permission=Permission.LOAD)
+        assert sealable.unsealed().otype == -1
+
+
+class TestMonotonicity:
+    def test_offset_moves_freely(self, cap):
+        moved = cap.with_offset(0x5000)
+        assert moved.tag  # still valid: bounds checked only at dereference
+        assert moved.address == 0x1000 + 0x5000
+
+    def test_increment_offset(self, cap):
+        assert cap.with_offset_increment(-0x10).offset == 0
+        assert cap.with_offset_increment(8).address == cap.address + 8
+
+    def test_shrinking_length_keeps_tag(self, cap):
+        assert cap.with_length(0x10).tag
+
+    def test_growing_length_clears_tag(self, cap):
+        assert not cap.with_length(0x200).tag
+
+    def test_base_increment_shrinks(self, cap):
+        derived = cap.with_base_increment(0x20)
+        assert derived.tag
+        assert derived.base == 0x1020
+        assert derived.length == 0xE0
+
+    def test_negative_base_increment_clears_tag(self, cap):
+        assert not cap.with_base_increment(-8).tag
+
+    def test_bounds_outside_parent_clear_tag(self, cap):
+        assert not cap.with_bounds(0x0F00, 0x10).tag
+        assert not cap.with_bounds(0x10F0, 0x20).tag
+        assert cap.with_bounds(0x1010, 0x20).tag
+
+    def test_permission_masking_only_removes(self, cap):
+        masked = cap.with_permissions_masked(Permission.LOAD)
+        assert masked.permissions == Permission.LOAD
+        remasked = masked.with_permissions_masked(Permission.all())
+        assert remasked.permissions == Permission.LOAD
+
+    def test_seal_requires_permission(self, cap):
+        with pytest.raises(PermissionViolation):
+            cap.sealed(3)  # all_data() lacks SEAL
+
+    @given(st.integers(min_value=0, max_value=0x100), st.integers(min_value=0, max_value=0x200))
+    def test_with_bounds_never_grows(self, base_offset, length):
+        parent = Capability(base=0x1000, length=0x100, permissions=Permission.all(), tag=True)
+        derived = parent.with_bounds(0x1000 + base_offset, length)
+        if derived.tag:
+            assert derived.base >= parent.base
+            assert derived.top <= parent.top
+
+    @given(st.integers(min_value=-(2**16), max_value=2**16))
+    def test_base_increment_never_grows_rights(self, increment):
+        parent = Capability(base=0x1000, length=0x100, permissions=Permission.all(), tag=True)
+        derived = parent.with_base_increment(increment)
+        if derived.tag:
+            assert derived.base >= parent.base
+            assert derived.top <= parent.top
+
+
+class TestComparisonAndConversion:
+    def test_compare_orders_untagged_first(self, cap):
+        untagged = capability_from_int(cap.address)
+        assert untagged.compare_key() < cap.compare_key()
+
+    def test_equals_pointer(self, cap):
+        assert cap.equals_pointer(cap.with_length(0x80))
+        assert not cap.equals_pointer(cap.with_offset_increment(1))
+        assert not cap.equals_pointer(cap.without_tag())
+
+    def test_to_pointer_relative(self, cap):
+        ddc = make_default_capability(1 << 20)
+        assert cap.to_pointer(ddc) == cap.address
+
+    def test_to_pointer_out_of_range_gives_zero(self, cap):
+        small = Capability(base=0, length=0x10, permissions=Permission.all(), tag=True)
+        assert cap.to_pointer(small) == 0
+
+    def test_to_pointer_untagged_gives_zero(self, cap):
+        ddc = make_default_capability(1 << 20)
+        assert cap.without_tag().to_pointer(ddc) == 0

