@@ -31,7 +31,7 @@ HEAP_BASE = 0x1_4000_0000
 STACK_BASE = 0x1_8000_0000
 
 
-@dataclass
+@dataclass(slots=True)
 class HeapObject:
     """One allocation: a C object with identity, bounds and lifetime."""
 

@@ -22,6 +22,10 @@ Key mechanisms:
   more) and every memory access adds the cache hierarchy's latency.  The only
   difference between ABIs is the size and alignment of pointers, which is the
   paper's architectural story for Figures 1–4.
+* **Dispatch.**  Function bodies are predecoded once per machine into
+  per-instruction closures (:mod:`repro.interp.predecode`) and executed by a
+  threaded-dispatch loop; ``tests/test_metrics_golden.py`` pins that this is
+  observationally identical to naive instruction-at-a-time interpretation.
 """
 
 from __future__ import annotations
@@ -29,16 +33,17 @@ from __future__ import annotations
 import sys
 from dataclasses import dataclass, field
 
-from repro.common.config import MachineConfig, TimingConfig
+from repro.common.config import MachineConfig
 from repro.common.errors import InterpreterError, MemorySafetyError, UndefinedBehaviorError
 from repro.common.rng import DeterministicRng
 from repro.interp.heap import ObjectAllocator
-from repro.interp.intrinsics import INTRINSICS, ExitProgram
+from repro.interp.intrinsics import ExitProgram
 from repro.interp.models import get_model
 from repro.interp.models.base import MemoryModel
-from repro.interp.values import IntVal, PERM_ALL, Provenance, PtrVal
-from repro.minic.ir import Const, Function, GlobalRef, Instr, Module, Opcode, Temp
-from repro.minic.typesys import ArrayType, CType, IntType, PointerType, Qualifiers, StructType
+from repro.interp.predecode import CompiledFunction, compile_function
+from repro.interp.values import IntVal, Provenance, PtrVal
+from repro.minic.ir import Function, Module
+from repro.minic.typesys import CType, IntType, PointerType, Qualifiers
 from repro.sim.cache import MemoryHierarchy
 from repro.sim.memory import TaggedMemory
 
@@ -79,14 +84,6 @@ class ExecutionResult:
         return self.output.decode("latin-1")
 
 
-class _ReturnValue(Exception):
-    """Internal: unwinds one interpreted call frame."""
-
-    def __init__(self, value) -> None:
-        super().__init__("return")
-        self.value = value
-
-
 class AbstractMachine:
     """Executes IR modules under a pluggable memory model."""
 
@@ -125,6 +122,12 @@ class AbstractMachine:
         self.max_instructions = max_instructions
         self.collect_timing = collect_timing
         self._call_depth = 0
+        #: predecoded per-function code, keyed by the function's identity.
+        self._code_cache: dict[int, CompiledFunction] = {}
+        self._clear_shadow = self.model.uses_shadow and self.model.clear_shadow_on_data_store
+        #: set by pointer stores to non-8-aligned addresses; copy_memory's
+        #: aligned-slot fast path is only sound while this stays False.
+        self._shadow_unaligned = False
         self._setup_globals()
 
     # ------------------------------------------------------------------
@@ -180,17 +183,30 @@ class AbstractMachine:
         self.memory.write_bytes(address, data)
 
     def read_cstring(self, pointer: PtrVal, *, limit: int = 1 << 20) -> bytes:
-        """Read a NUL-terminated string one chunk at a time (bounds-checked)."""
+        """Read a NUL-terminated string one byte at a time (bounds-checked).
+
+        Every byte is individually checked and fed through the cache model —
+        that per-byte accounting is part of the simulated cost of C string
+        functions, so only the Python-level overhead is optimized here.
+        """
         out = bytearray()
+        append = out.append
         cursor = pointer
+        check_access = self.model.check_access
+        ptr_offset = self.model.ptr_offset
+        read_small = self.memory.read_small
+        hierarchy_access = self.hierarchy.access
+        collect_timing = self.collect_timing
         for _ in range(limit):
-            address = self.model.check_access(cursor, 1, is_write=False)
-            self._touch_memory(address, 1, is_write=False)
-            byte = self.memory.read_bytes(address, 1)
-            if byte == b"\x00":
+            address = check_access(cursor, 1, is_write=False)
+            self.memory_accesses += 1
+            if collect_timing:
+                self.cycles += hierarchy_access(address, 1, is_write=False)
+            byte = read_small(address, 1, False)
+            if byte == 0:
                 return bytes(out)
-            out += byte
-            cursor = self.model.ptr_offset(cursor, 1)
+            append(byte)
+            cursor = ptr_offset(cursor, 1)
         raise InterpreterError("unterminated string (exceeded 1 MiB)")
 
     def copy_memory(self, dst: PtrVal, src: PtrVal, length: int) -> None:
@@ -204,14 +220,44 @@ class AbstractMachine:
         data = self.memory.read_bytes(src_address, length)
         self._clear_shadow_range(dst_address, length)
         self.memory.write_bytes(dst_address, data)
-        if self.model.uses_shadow:
+        if self.model.uses_shadow and self.shadow:
+            shadow = self.shadow
             delta = dst_address - src_address
-            moved = {
-                key + delta: value
-                for key, value in self.shadow.items()
-                if src_address <= key < src_address + length
-            }
-            self.shadow.update(moved)
+            if self._shadow_unaligned:
+                # Rare: some pointer was stored at a non-8-aligned address, so
+                # the aligned-slot walk below could miss entries — scan the
+                # table (the seed interpreter's behaviour).
+                moved = {
+                    key + delta: value
+                    for key, value in shadow.items()
+                    if src_address <= key < src_address + length
+                }
+                stale = [key for key in shadow
+                         if dst_address <= key < dst_address + length and key not in moved]
+            else:
+                # Walk the 8-aligned slots of the copied range directly
+                # instead of scanning the whole shadow table (which is
+                # O(total entries) per memcpy).
+                shadow_get = shadow.get
+                moved = {}
+                for key in range(src_address + (-src_address % 8), src_address + length, 8):
+                    value = shadow_get(key)
+                    if value is not None:
+                        moved[key + delta] = value
+                stale = [key
+                         for key in range(dst_address + (-dst_address % 8), dst_address + length, 8)
+                         if key not in moved and key in shadow]
+                if moved and delta & 7:
+                    # The moved entries land on non-8-aligned destination
+                    # slots: later copies must use the exhaustive scan.
+                    self._shadow_unaligned = True
+            # Destination slots the copy overwrote but the move does not
+            # repopulate would otherwise keep stale metadata (the look-aside
+            # models do not clear shadow entries on data stores).  Deliberate
+            # tightening over the seed interpreter, which left them behind.
+            for key in stale:
+                del shadow[key]
+            shadow.update(moved)
 
     # ------------------------------------------------------------------
     # Memory primitives
@@ -223,13 +269,14 @@ class AbstractMachine:
             self.cycles += self.hierarchy.access(address, size, is_write=is_write)
 
     def _clear_shadow_range(self, address: int, size: int) -> None:
-        if not self.model.uses_shadow or not self.model.clear_shadow_on_data_store:
+        if not self._clear_shadow or not self.shadow:
             return
-        if not self.shadow:
-            return
-        span = range(address - address % 8, address + size)
-        for key in [k for k in span if k % 8 == 0 and k in self.shadow]:
-            del self.shadow[key]
+        # Step directly over the 8-aligned slots that overlap the write
+        # (O(size/8)) instead of filtering a byte-granular range (O(size)).
+        shadow = self.shadow
+        for key in range(address - address % 8, address + size, 8):
+            if key in shadow:
+                del shadow[key]
 
     def _store_scalar(self, pointer: PtrVal, value, ctype: CType) -> None:
         """Store one typed value through a pointer."""
@@ -241,6 +288,8 @@ class AbstractMachine:
             self._clear_shadow_range(address, width)
             self.memory.write_bytes(address, raw.to_bytes(8, "little", signed=False) + b"\x00" * (width - 8))
             if self.model.uses_shadow:
+                if address & 7:
+                    self._shadow_unaligned = True
                 self.shadow[address] = value
             return
         size = max(ctype.size(self.ctx), 1)
@@ -357,276 +406,32 @@ class AbstractMachine:
             self._call_depth -= 1
 
     def _execute(self, function: Function, args: list):
-        temps: dict[int, object] = {}
-        alloca_cache: dict[int, PtrVal] = {}
-        labels = function.label_index()
-        timing = self.config.timing
-        instrs = function.instrs
+        """Run one predecoded function body to completion (threaded dispatch).
+
+        The per-instruction work lives in the compiled handlers
+        (:mod:`repro.interp.predecode`); this loop only meters the shared
+        instruction/cycle counters and threads the program counter that each
+        handler returns.
+        """
+        code = self._code_cache.get(id(function))
+        if code is None or code.function is not function:
+            code = compile_function(self, function)
+            self._code_cache[id(function)] = code
+        frame = code.frame_proto.copy()
+        frame[0] = args
+        if code.nallocas:
+            frame[1] = [None] * code.nallocas
+        handlers = code.handlers
+        costs = code.costs
+        size = code.size
+        max_instructions = self.max_instructions
         pc = 0
-        while pc < len(instrs):
-            instr = instrs[pc]
-            pc += 1
-            self.instructions += 1
-            if self.instructions > self.max_instructions:
+        while pc < size:
+            self.instructions = count = self.instructions + 1
+            if count > max_instructions:
                 raise InterpreterError(
                     f"instruction budget of {self.max_instructions} exhausted in {function.name}"
                 )
-            op = instr.op
-            if op is Opcode.LABEL or op is Opcode.NOP:
-                continue
-            self.cycles += timing.base_instruction_cost
-            if op is Opcode.JUMP:
-                self.cycles += timing.branch_cost - timing.base_instruction_cost
-                pc = labels[instr.attrs["target"]]
-                continue
-            if op is Opcode.CJUMP:
-                self.cycles += timing.branch_cost - timing.base_instruction_cost
-                condition = self._eval(instr.args[0], temps)
-                taken = condition.is_true if isinstance(condition, IntVal) else not condition.is_null
-                pc = labels[instr.attrs["then"] if taken else instr.attrs["else"]]
-                continue
-            if op is Opcode.RET:
-                if instr.args:
-                    return self._eval(instr.args[0], temps)
-                return None
-            result = self._execute_instr(instr, temps, alloca_cache, args, pc - 1)
-            if instr.dest is not None:
-                temps[instr.dest.index] = result
-        return None
-
-    # ------------------------------------------------------------------
-    # Instruction dispatch
-    # ------------------------------------------------------------------
-
-    def _eval(self, operand, temps):
-        if isinstance(operand, Temp):
-            try:
-                return temps[operand.index]
-            except KeyError:
-                raise InterpreterError(f"use of undefined temporary {operand}") from None
-        if isinstance(operand, Const):
-            ctype = operand.ctype
-            if isinstance(ctype, PointerType):
-                if operand.value == 0:
-                    return self.model.null_pointer()
-                return self.model.int_to_ptr(IntVal(operand.value, bytes=8, signed=False), self.allocator)
-            size = ctype.size(self.ctx) if isinstance(ctype, IntType) else 8
-            signed = getattr(ctype, "signed", True)
-            pointer_sized = isinstance(ctype, IntType) and ctype.is_pointer_sized
-            return IntVal(operand.value, bytes=min(size, 8), signed=signed, pointer_sized=pointer_sized)
-        if isinstance(operand, GlobalRef):
-            try:
-                return self.globals[operand.name]
-            except KeyError:
-                raise InterpreterError(f"use of unknown global {operand.name!r}") from None
-        raise InterpreterError(f"cannot evaluate operand {operand!r}")
-
-    def _execute_instr(self, instr: Instr, temps, alloca_cache, args, index):
-        op = instr.op
-
-        if op is Opcode.ALLOCA:
-            cached = alloca_cache.get(index)
-            if cached is not None:
-                return cached
-            size = instr.attrs.get("size", 8)
-            alloc_type = instr.attrs.get("alloc_type")
-            alignment = max(8, alloc_type.alignment(self.ctx) if alloc_type is not None else 8)
-            obj = self.allocator.allocate_stack(size, instr.attrs.get("name", ""), alignment=alignment)
-            pointer = self.model.make_pointer(obj)
-            alloca_cache[index] = pointer
-            return pointer
-
-        if op is Opcode.LOAD:
-            pointer = self._pointer_operand(instr.args[0], temps)
-            return self._load_scalar(pointer, instr.ctype)
-
-        if op is Opcode.STORE:
-            pointer = self._pointer_operand(instr.args[0], temps)
-            if "param_index" in instr.attrs:
-                value = args[instr.attrs["param_index"]]
-            else:
-                value = self._eval(instr.args[1], temps)
-            value = self._coerce_for_store(value, instr.ctype)
-            self._store_scalar(pointer, value, instr.ctype)
-            return None
-
-        if op is Opcode.GEP:
-            pointer = self._pointer_operand(instr.args[0], temps)
-            idx = self._eval(instr.args[1], temps)
-            delta = (idx.value if isinstance(idx, IntVal) else idx.address) * instr.attrs["element_size"]
-            return self.model.ptr_offset(pointer, delta)
-
-        if op is Opcode.FIELD:
-            pointer = self._pointer_operand(instr.args[0], temps)
-            field_type = instr.ctype.pointee if isinstance(instr.ctype, PointerType) else None
-            field_size = field_type.size(self.ctx) if field_type is not None else 1
-            return self.model.field_address(pointer, instr.attrs["offset"], field_size)
-
-        if op is Opcode.PTRADD:
-            pointer = self._pointer_operand(instr.args[0], temps)
-            delta = self._eval(instr.args[1], temps)
-            return self.model.ptr_offset(pointer, delta.value)
-
-        if op is Opcode.PTRDIFF:
-            a = self._pointer_operand(instr.args[0], temps)
-            b = self._pointer_operand(instr.args[1], temps)
-            diff = self.model.ptr_diff(a, b, instr.attrs.get("element_size", 1))
-            return IntVal(diff, bytes=8, signed=True)
-
-        if op is Opcode.PTRTOINT:
-            pointer = self._pointer_operand(instr.args[0], temps)
-            target = instr.ctype
-            return self.model.ptr_to_int(
-                pointer,
-                bytes=min(target.size(self.ctx), 8),
-                signed=getattr(target, "signed", True),
-                pointer_sized=isinstance(target, IntType) and target.is_pointer_sized,
-            )
-
-        if op is Opcode.INTTOPTR:
-            value = self._eval(instr.args[0], temps)
-            if isinstance(value, PtrVal):
-                pointer = value
-            else:
-                pointer = self.model.int_to_ptr(value, self.allocator)
-            if isinstance(instr.ctype, PointerType):
-                pointer = self._apply_pointer_qualifiers(pointer, instr.ctype)
-            return pointer
-
-        if op is Opcode.BITCAST:
-            value = self._eval(instr.args[0], temps)
-            if not isinstance(value, PtrVal):
-                return value
-            if instr.attrs.get("deconst"):
-                value = self.model.deconst(value)
-            if isinstance(instr.ctype, PointerType):
-                value = self._apply_pointer_qualifiers(value, instr.ctype)
-            return value
-
-        if op is Opcode.INTCAST:
-            value = self._eval(instr.args[0], temps)
-            target = instr.ctype
-            pointer_sized = isinstance(target, IntType) and target.is_pointer_sized
-            if isinstance(value, PtrVal):
-                return self.model.ptr_to_int(
-                    value, bytes=min(target.size(self.ctx), 8),
-                    signed=getattr(target, "signed", True), pointer_sized=pointer_sized,
-                )
-            return value.converted(bytes=min(target.size(self.ctx), 8),
-                                   signed=getattr(target, "signed", True),
-                                   pointer_sized=pointer_sized)
-
-        if op is Opcode.BINOP:
-            return self._binop(instr, temps)
-
-        if op is Opcode.UNOP:
-            value = self._eval(instr.args[0], temps)
-            if not isinstance(value, IntVal):
-                raise InterpreterError("unary arithmetic on a pointer value")
-            if instr.attrs["operator"] == "neg":
-                return value.with_value(-value.value, provenance=None)
-            return value.with_value(~value.value, provenance=None)
-
-        if op is Opcode.CMP:
-            return self._compare(instr, temps)
-
-        if op is Opcode.CALL:
-            return self._call_target(instr, temps)
-
-        raise InterpreterError(f"unsupported IR opcode {op}")
-
-    # ------------------------------------------------------------------
-
-    def _pointer_operand(self, operand, temps) -> PtrVal:
-        value = self._eval(operand, temps)
-        if isinstance(value, PtrVal):
-            return value
-        if isinstance(value, IntVal):
-            return self.model.int_to_ptr(value, self.allocator)
-        raise InterpreterError(f"expected a pointer, got {value!r}")
-
-    def _coerce_for_store(self, value, ctype: CType):
-        if isinstance(ctype, PointerType) and isinstance(value, IntVal):
-            return self.model.int_to_ptr(value, self.allocator)
-        if isinstance(ctype, IntType) and isinstance(value, PtrVal) and not ctype.is_pointer_sized:
-            return self.model.ptr_to_int(value, bytes=min(ctype.size(self.ctx), 8),
-                                         signed=ctype.signed, pointer_sized=False)
-        return value
-
-    _BIN_OPERATIONS = {
-        "+": lambda a, b: a + b,
-        "-": lambda a, b: a - b,
-        "*": lambda a, b: a * b,
-        "&": lambda a, b: a & b,
-        "|": lambda a, b: a | b,
-        "^": lambda a, b: a ^ b,
-        "<<": lambda a, b: a << (b & 63),
-        ">>": lambda a, b: a >> (b & 63),
-    }
-
-    def _binop(self, instr: Instr, temps):
-        left = self._eval(instr.args[0], temps)
-        right = self._eval(instr.args[1], temps)
-        operator = instr.attrs["operator"]
-        if isinstance(left, PtrVal) or isinstance(right, PtrVal):
-            # Arithmetic involving a raw pointer value outside of gep/ptrdiff:
-            # convert to integers first (keeps provenance via ptr_to_int).
-            if isinstance(left, PtrVal):
-                left = self.model.ptr_to_int(left, bytes=8, signed=False, pointer_sized=True)
-            if isinstance(right, PtrVal):
-                right = self.model.ptr_to_int(right, bytes=8, signed=False, pointer_sized=True)
-        a, b = left.value, right.value
-        if operator in ("/", "%"):
-            if b == 0:
-                raise UndefinedBehaviorError("integer division by zero")
-            quotient = abs(a) // abs(b)
-            if operator == "/":
-                raw = quotient if (a >= 0) == (b >= 0) else -quotient
-            else:
-                raw = a - (quotient if (a >= 0) == (b >= 0) else -quotient) * b
-        else:
-            try:
-                raw = self._BIN_OPERATIONS[operator](a, b)
-            except KeyError:
-                raise InterpreterError(f"unknown binary operator {operator!r}") from None
-        target = instr.ctype
-        size = min(target.size(self.ctx), 8) if target is not None else 8
-        signed = getattr(target, "signed", True)
-        pointer_sized = isinstance(target, IntType) and target.is_pointer_sized
-        provenance = self.model.propagate_provenance(left, right, raw)
-        return IntVal(raw, bytes=size, signed=signed, provenance=provenance, pointer_sized=pointer_sized)
-
-    def _compare(self, instr: Instr, temps) -> IntVal:
-        left = self._eval(instr.args[0], temps)
-        right = self._eval(instr.args[1], temps)
-        operator = instr.attrs["operator"]
-        if isinstance(left, PtrVal) and isinstance(right, PtrVal):
-            result = self.model.ptr_compare(left, right, operator)
-        else:
-            a = left.address if isinstance(left, PtrVal) else left.value
-            b = right.address if isinstance(right, PtrVal) else right.value
-            result = {"==": a == b, "!=": a != b, "<": a < b,
-                      "<=": a <= b, ">": a > b, ">=": a >= b}[operator]
-        return IntVal(1 if result else 0, bytes=4)
-
-    def _call_target(self, instr: Instr, temps):
-        callee = instr.attrs["callee"]
-        self.cycles += self.config.timing.call_cost - self.config.timing.base_instruction_cost
-        arguments = [self._eval(arg, temps) for arg in instr.args]
-        function = self.module.functions.get(callee)
-        if function is not None and function.instrs:
-            # Coerce arguments to parameter types (qualifier effects included).
-            coerced = []
-            for index, value in enumerate(arguments):
-                if index < len(function.params):
-                    _, param_type = function.params[index]
-                    if isinstance(param_type, PointerType) and isinstance(value, PtrVal):
-                        value = self._apply_pointer_qualifiers(value, param_type)
-                    elif isinstance(param_type, PointerType) and isinstance(value, IntVal):
-                        value = self.model.int_to_ptr(value, self.allocator)
-                coerced.append(value)
-            return self._call(function, coerced)
-        handler = INTRINSICS.get(callee)
-        if handler is None:
-            raise InterpreterError(f"call to unknown function {callee!r}")
-        return handler(self, arguments, instr.ctype)
+            self.cycles += costs[pc]
+            pc = handlers[pc](frame)
+        return frame[2]

@@ -178,30 +178,32 @@ class MemoryModel:
 
     def check_access(self, ptr: PtrVal, size: int, *, is_write: bool) -> int:
         """Validate a dereference; return the effective address or raise."""
-        if ptr.is_null:
+        address = ptr.address
+        obj = ptr.obj
+        if address == 0 and obj is None:
             raise MemorySafetyError("dereference of a null pointer", address=0)
         if not ptr.tag:
             self.traps += 1
-            raise TagViolation(f"dereference of an invalid pointer at {ptr.address:#x}",
-                               address=ptr.address)
+            raise TagViolation(f"dereference of an invalid pointer at {address:#x}",
+                               address=address)
         if not ptr.checked:
-            return ptr.address
-        needed = PERM_WRITE if is_write else PERM_READ
-        if not (ptr.perms & needed):
+            return address
+        if not ptr.perms & (PERM_WRITE if is_write else PERM_READ):
             self.traps += 1
             kind = "write" if is_write else "read"
-            raise PermissionViolation(f"{kind} through a pointer lacking permission at {ptr.address:#x}",
-                                      address=ptr.address)
-        if ptr.obj is not None and getattr(ptr.obj, "freed", False):
+            raise PermissionViolation(f"{kind} through a pointer lacking permission at {address:#x}",
+                                      address=address)
+        if obj is not None and getattr(obj, "freed", False):
             self.traps += 1
-            raise MemorySafetyError(f"use of {ptr.obj} after its lifetime ended", address=ptr.address)
-        if not (ptr.base <= ptr.address and ptr.address + size <= ptr.top):
+            raise MemorySafetyError(f"use of {obj} after its lifetime ended", address=address)
+        base = ptr.base
+        if not (base <= address and address + size <= base + ptr.length):
             self.traps += 1
             raise BoundsViolation(
-                f"access of {size} bytes at {ptr.address:#x} outside [{ptr.base:#x}, {ptr.top:#x})",
-                address=ptr.address,
+                f"access of {size} bytes at {address:#x} outside [{base:#x}, {ptr.top:#x})",
+                address=address,
             )
-        return ptr.address
+        return address
 
     # ------------------------------------------------------------------
     # Pointers in memory

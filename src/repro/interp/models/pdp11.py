@@ -26,8 +26,15 @@ class Pdp11Model(MemoryModel):
 
     def make_pointer(self, obj: HeapObject, *, address: int | None = None, perms: int = PERM_ALL) -> PtrVal:
         # Bounds are recorded (they are free to carry around) but never checked.
-        pointer = super().make_pointer(obj, address=address, perms=perms)
-        return pointer.unchecked()
+        return PtrVal(
+            address=obj.base if address is None else address,
+            base=obj.base,
+            length=obj.size,
+            obj=obj,
+            perms=perms,
+            tag=True,
+            checked=False,
+        )
 
     def int_to_ptr(self, value: IntVal, allocator: ObjectAllocator) -> PtrVal:
         if value.unsigned == 0:

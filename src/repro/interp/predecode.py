@@ -1,0 +1,841 @@
+"""Predecoded threaded-dispatch engine for the abstract machine.
+
+The original interpreter walked every :class:`~repro.minic.ir.Instr` through a
+chain of ``if op is Opcode.X`` tests, re-resolving ``attrs`` dict entries,
+label maps and operand kinds on every execution.  This module compiles each IR
+function **once per machine** into a flat list of per-instruction closures
+("handlers"):
+
+* label targets are resolved to instruction indices at compile time, so a
+  branch is just ``return target_index``;
+* ``attrs`` lookups (operators, offsets, element sizes, callees) are hoisted
+  into closure variables;
+* operands are pre-classified — a :class:`Temp` becomes a register-slot read,
+  an integer :class:`Const` becomes a hoisted immutable :class:`IntVal`, a
+  :class:`GlobalRef` becomes a name lookup (kept at run time because the GC
+  may rewrite globals between runs);
+* per-instruction cycle costs are precomputed into a parallel ``costs`` list;
+* temporaries live in a flat preallocated register list instead of a dict.
+
+The engine is **observationally identical** to the old dispatch chain: the
+same instruction/cycle/memory-access counts, the same outputs and the same
+traps for every memory model (``tests/test_metrics_golden.py`` pins this).
+
+Frame layout: handlers receive one ``frame`` list shaped as
+``[args, alloca_slots, return_value, reg0, reg1, ..., scratch]``.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import InterpreterError, UndefinedBehaviorError
+from repro.interp.intrinsics import INTRINSICS
+from repro.interp.models.base import MemoryModel
+from repro.interp.models.pdp11 import Pdp11Model
+from repro.interp.values import IntVal, Provenance, PtrVal
+from repro.minic.ir import Const, Function, GlobalRef, Opcode, Temp
+from repro.minic.typesys import IntType, PointerType, Qualifiers
+
+#: sentinel stored in unwritten register slots (None is a legitimate value).
+UNDEF = object()
+
+#: indices of the bookkeeping slots at the head of every frame.
+_ARGS, _ALLOCAS, _RET = 0, 1, 2
+#: register slot of temp ``%i`` is ``i + _FRAME_RESERVED``.
+_FRAME_RESERVED = 3
+
+_ADDRESS_MASK = (1 << 64) - 1
+
+#: interned comparison results (IntVal is frozen, so sharing is safe).
+_TRUE = IntVal(1, bytes=4)
+_FALSE = IntVal(0, bytes=4)
+
+#: interned small integers per (width, signed); loads and integer arithmetic
+#: produce values in [0, 256] constantly (loop counters, characters, flags).
+_SMALL_MAX = 256
+_small_tables: dict[tuple[int, bool], tuple] = {}
+
+
+def _small_ints(width: int, signed: bool):
+    """Shared IntVal instances for 0..256, or None when the width can't hold them."""
+    if width < 2:
+        return None
+    key = (width, signed)
+    table = _small_tables.get(key)
+    if table is None:
+        table = tuple(IntVal(v, bytes=width, signed=signed) for v in range(_SMALL_MAX + 1))
+        _small_tables[key] = table
+    return table
+
+_INT_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << (b & 63),
+    ">>": lambda a, b: a >> (b & 63),
+}
+
+_CMP_FUNCS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class CompiledFunction:
+    """The predecoded form of one IR function, bound to one machine."""
+
+    __slots__ = ("function", "handlers", "costs", "size", "nregs", "nallocas",
+                 "frame_proto")
+
+    def __init__(self, function: Function, handlers: list, costs: list,
+                 nregs: int, nallocas: int) -> None:
+        self.function = function
+        self.handlers = handlers
+        self.costs = costs
+        self.size = len(handlers)
+        self.nregs = nregs
+        self.nallocas = nallocas
+        #: template frame: bookkeeping slots + registers, copied per call.
+        self.frame_proto = [None, None, None] + [UNDEF] * nregs
+
+
+# ---------------------------------------------------------------------------
+# Operand predecoding
+# ---------------------------------------------------------------------------
+
+
+def _const_value(machine, operand: Const):
+    """Hoisted runtime value of a constant, or None when it needs run-time state."""
+    ctype = operand.ctype
+    if isinstance(ctype, PointerType):
+        if operand.value == 0:
+            return machine.model.null_pointer()
+        return None  # non-null pointer constant: conversion consults the allocator
+    size = ctype.size(machine.ctx) if isinstance(ctype, IntType) else 8
+    signed = getattr(ctype, "signed", True)
+    pointer_sized = isinstance(ctype, IntType) and ctype.is_pointer_sized
+    return IntVal(operand.value, bytes=min(size, 8), signed=signed, pointer_sized=pointer_sized)
+
+
+def _reader(machine, operand):
+    """Compile an operand into a ``frame -> value`` accessor."""
+    kind = type(operand)
+    if kind is Temp:
+        slot = operand.index + _FRAME_RESERVED
+        label = str(operand)
+
+        def read_temp(frame):
+            value = frame[slot]
+            if value is UNDEF:
+                raise InterpreterError(f"use of undefined temporary {label}")
+            return value
+
+        return read_temp
+    if kind is Const:
+        hoisted = _const_value(machine, operand)
+        if hoisted is not None:
+            return lambda frame: hoisted
+        as_int = IntVal(operand.value, bytes=8, signed=False)
+        int_to_ptr = machine.model.int_to_ptr
+        allocator = machine.allocator
+        return lambda frame: int_to_ptr(as_int, allocator)
+    if kind is GlobalRef:
+        name = operand.name
+        globals_map = machine.globals
+
+        def read_global(frame):
+            try:
+                return globals_map[name]
+            except KeyError:
+                raise InterpreterError(f"use of unknown global {name!r}") from None
+
+        return read_global
+    raise InterpreterError(f"cannot evaluate operand {operand!r}")
+
+
+def _ptr_reader(machine, operand):
+    """An operand accessor that coerces integers to pointers (``_pointer_operand``)."""
+    int_to_ptr = machine.model.int_to_ptr
+    allocator = machine.allocator
+
+    if type(operand) is Temp:
+        # Fused register read + pointer coercion (one call instead of two).
+        slot = operand.index + _FRAME_RESERVED
+        label = str(operand)
+
+        def read_ptr(frame):
+            value = frame[slot]
+            kind = type(value)
+            if kind is PtrVal:
+                return value
+            if kind is IntVal:
+                return int_to_ptr(value, allocator)
+            if value is UNDEF:
+                raise InterpreterError(f"use of undefined temporary {label}")
+            raise InterpreterError(f"expected a pointer, got {value!r}")
+
+        return read_ptr
+
+    read = _reader(machine, operand)
+
+    def read_ptr(frame):
+        value = read(frame)
+        if type(value) is PtrVal:
+            return value
+        if type(value) is IntVal:
+            return int_to_ptr(value, allocator)
+        raise InterpreterError(f"expected a pointer, got {value!r}")
+
+    return read_ptr
+
+
+def _qualifier_appliers(machine, ptr_type: PointerType) -> tuple:
+    """The model hooks a pointer of ``ptr_type`` passes through, in order."""
+    appliers = []
+    if ptr_type.qualifiers & Qualifiers.INPUT:
+        appliers.append(machine.model.apply_input_qualifier)
+    if ptr_type.qualifiers & Qualifiers.OUTPUT:
+        appliers.append(machine.model.apply_output_qualifier)
+    if ptr_type.pointee.is_const:
+        appliers.append(machine.model.apply_const)
+    return tuple(appliers)
+
+
+def _is_pointer_sized_int(ctype) -> bool:
+    return isinstance(ctype, IntType) and ctype.is_pointer_sized
+
+
+# ---------------------------------------------------------------------------
+# Function compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_function(machine, function: Function) -> CompiledFunction:
+    """Predecode ``function`` against ``machine``'s model, memory and timing."""
+    instrs = function.instrs
+    labels = function.label_index()
+    timing = machine.config.timing
+    base_cost = timing.base_instruction_cost
+    branch_cost = timing.branch_cost
+    call_cost = timing.call_cost
+    stop = len(instrs)
+
+    # Pass 1: register file size and alloca slot count.
+    max_temp = -1
+    nallocas = 0
+    for instr in instrs:
+        if instr.dest is not None and instr.dest.index > max_temp:
+            max_temp = instr.dest.index
+        for arg in instr.args:
+            if type(arg) is Temp and arg.index > max_temp:
+                max_temp = arg.index
+        if instr.op is Opcode.ALLOCA:
+            nallocas += 1
+    nregs = max_temp + 2  # one extra scratch slot for dest-less value ops
+    scratch = max_temp + 1 + _FRAME_RESERVED
+
+    # Machine state bound once per compilation.
+    model = machine.model
+    ctx = machine.ctx
+    memory = machine.memory
+    allocator = machine.allocator
+    hierarchy_access = machine.hierarchy.access
+    collect_timing = machine.collect_timing
+    shadow = machine.shadow
+    shadow_get = shadow.get
+    uses_shadow = model.uses_shadow
+    clear_shadow = uses_shadow and model.clear_shadow_on_data_store
+    check_access = model.check_access
+    int_to_ptr = model.int_to_ptr
+    ptr_to_int = model.ptr_to_int
+    ptr_offset = model.ptr_offset
+    pointer_bytes = model.pointer_bytes
+    read_u64 = memory.read_u64
+    read_small = memory.read_small
+    write_small = memory.write_small
+    write_ptr_raw = memory.write_ptr_raw
+    load_ptr_no_meta = model.load_pointer_without_metadata
+    reconcile = model.reconcile_loaded_pointer
+    propagate_provenance = model.propagate_provenance
+    # When the model keeps the default pointer-arithmetic policy (cursor moves
+    # freely, bounds unchanged), pointer moves can be constructed inline
+    # instead of dispatching through model.ptr_offset -> PtrVal.moved_by.
+    inline_moves = type(model).ptr_offset is MemoryModel.ptr_offset
+    inline_field = (inline_moves
+                    and type(model).field_address is MemoryModel.field_address
+                    and not model.narrow_field_bounds)
+    # Dereference checks are inlined for the two known check policies; the
+    # inline fast path only covers accesses the full check would *pass* (and
+    # returns the same effective address) — anything unusual falls back to the
+    # model's check_access, so traps, messages and trap counters are identical.
+    model_check = type(model).check_access
+    if model_check is MemoryModel.check_access:
+        check_kind = 1
+    elif model_check is Pdp11Model.check_access:
+        check_kind = 2
+    else:
+        check_kind = 0
+
+    handlers: list = []
+    costs: list = []
+    alloca_index = 0
+
+    for index, instr in enumerate(instrs):
+        op = instr.op
+        next_pc = index + 1
+        dest = instr.dest.index + _FRAME_RESERVED if instr.dest is not None else None
+        cost = base_cost
+        handler = None
+
+        if op is Opcode.LABEL or op is Opcode.NOP:
+            cost = 0
+            handler = _make_fallthrough(next_pc)
+
+        elif op is Opcode.JUMP:
+            cost = branch_cost
+            target = labels[instr.attrs["target"]]
+            handler = _make_fallthrough(target)
+
+        elif op is Opcode.CJUMP:
+            cost = branch_cost
+            read_cond = _reader(machine, instr.args[0])
+            then_pc = labels[instr.attrs["then"]]
+            else_pc = labels[instr.attrs["else"]]
+
+            def handler(frame, read_cond=read_cond, then_pc=then_pc, else_pc=else_pc):
+                condition = read_cond(frame)
+                if type(condition) is IntVal:
+                    return then_pc if condition.value != 0 else else_pc
+                return else_pc if condition.is_null else then_pc
+
+        elif op is Opcode.RET:
+            if instr.args:
+                read_value = _reader(machine, instr.args[0])
+
+                def handler(frame, read_value=read_value, stop=stop):
+                    frame[_RET] = read_value(frame)
+                    return stop
+            else:
+                handler = _make_fallthrough(stop)
+
+        elif op is Opcode.ALLOCA:
+            slot = alloca_index
+            alloca_index += 1
+            size = instr.attrs.get("size", 8)
+            alloc_type = instr.attrs.get("alloc_type")
+            alignment = max(8, alloc_type.alignment(ctx) if alloc_type is not None else 8)
+            name = instr.attrs.get("name", "")
+            allocate_stack = allocator.allocate_stack
+            make_pointer = model.make_pointer
+            out = dest if dest is not None else scratch
+
+            def handler(frame, slot=slot, size=size, name=name, alignment=alignment,
+                        allocate_stack=allocate_stack, make_pointer=make_pointer,
+                        out=out, next_pc=next_pc):
+                allocas = frame[_ALLOCAS]
+                pointer = allocas[slot]
+                if pointer is None:
+                    pointer = make_pointer(allocate_stack(size, name, alignment=alignment))
+                    allocas[slot] = pointer
+                frame[out] = pointer
+                return next_pc
+
+        elif op is Opcode.LOAD:
+            read_ptr = _ptr_reader(machine, instr.args[0])
+            ctype = instr.ctype
+            out = dest if dest is not None else scratch
+            if isinstance(ctype, PointerType) or _is_pointer_sized_int(ctype):
+                is_ptr_type = isinstance(ctype, PointerType)
+                appliers = _qualifier_appliers(machine, ctype) if is_ptr_type else ()
+                signed = getattr(ctype, "signed", True)
+
+                def handler(frame, read_ptr=read_ptr, machine=machine, out=out,
+                            is_ptr_type=is_ptr_type, appliers=appliers, signed=signed,
+                            next_pc=next_pc):
+                    pointer = read_ptr(frame)
+                    address = pointer.address
+                    if check_kind == 1:
+                        if not (pointer.tag and pointer.checked
+                                and pointer.perms & 1
+                                and pointer.base <= address
+                                and address + pointer_bytes <= pointer.base + pointer.length
+                                and not getattr(pointer.obj, "freed", False)
+                                and not (address == 0 and pointer.obj is None)):
+                            address = check_access(pointer, pointer_bytes, is_write=False)
+                    elif check_kind == 2:
+                        if address < 4096:
+                            address = check_access(pointer, pointer_bytes, is_write=False)
+                    else:
+                        address = check_access(pointer, pointer_bytes, is_write=False)
+                    machine.memory_accesses += 1
+                    if collect_timing:
+                        machine.cycles += hierarchy_access(address, pointer_bytes, is_write=False)
+                    raw = read_u64(address)
+                    entry = shadow_get(address) if uses_shadow else None
+                    if is_ptr_type:
+                        if entry is None:
+                            loaded = load_ptr_no_meta(raw, allocator)
+                        elif type(entry) is PtrVal:
+                            loaded = reconcile(raw, entry, allocator)
+                        elif type(entry) is IntVal:
+                            loaded = int_to_ptr(entry.with_value(raw, provenance=entry.provenance),
+                                                allocator)
+                        else:
+                            raise InterpreterError(f"corrupt shadow entry {entry!r}")
+                        for apply in appliers:
+                            loaded = apply(loaded)
+                        frame[out] = loaded
+                    else:
+                        if type(entry) is IntVal and entry.unsigned == raw:
+                            frame[out] = IntVal(raw, bytes=8, signed=signed,
+                                                provenance=entry.provenance, pointer_sized=True)
+                        elif type(entry) is PtrVal and entry.address == raw:
+                            frame[out] = IntVal(raw, bytes=8, signed=signed,
+                                                provenance=Provenance(entry), pointer_sized=True)
+                        else:
+                            frame[out] = IntVal(raw, bytes=8, signed=signed, pointer_sized=True)
+                    return next_pc
+            else:
+                size = max(ctype.size(ctx), 1)
+                signed = getattr(ctype, "signed", True)
+                small = _small_ints(size, signed)
+
+                def handler(frame, read_ptr=read_ptr, machine=machine, out=out,
+                            size=size, signed=signed, small=small, next_pc=next_pc):
+                    pointer = read_ptr(frame)
+                    address = pointer.address
+                    if check_kind == 1:
+                        if not (pointer.tag and pointer.checked
+                                and pointer.perms & 1
+                                and pointer.base <= address
+                                and address + size <= pointer.base + pointer.length
+                                and not getattr(pointer.obj, "freed", False)
+                                and not (address == 0 and pointer.obj is None)):
+                            address = check_access(pointer, size, is_write=False)
+                    elif check_kind == 2:
+                        if address < 4096:
+                            address = check_access(pointer, size, is_write=False)
+                    else:
+                        address = check_access(pointer, size, is_write=False)
+                    machine.memory_accesses += 1
+                    if collect_timing:
+                        machine.cycles += hierarchy_access(address, size, is_write=False)
+                    raw = read_small(address, size, signed)
+                    if small is not None and 0 <= raw <= 256:
+                        frame[out] = small[raw]
+                    else:
+                        frame[out] = IntVal(raw, bytes=size, signed=signed)
+                    return next_pc
+
+        elif op is Opcode.STORE:
+            read_ptr = _ptr_reader(machine, instr.args[0])
+            param_index = instr.attrs.get("param_index")
+            if param_index is not None:
+                def read_value(frame, param_index=param_index):
+                    return frame[_ARGS][param_index]
+            else:
+                read_value = _reader(machine, instr.args[1])
+            ctype = instr.ctype
+            is_ptr_type = isinstance(ctype, PointerType)
+            if is_ptr_type or _is_pointer_sized_int(ctype):
+
+                def handler(frame, read_ptr=read_ptr, read_value=read_value, machine=machine,
+                            is_ptr_type=is_ptr_type, next_pc=next_pc):
+                    pointer = read_ptr(frame)
+                    value = read_value(frame)
+                    if is_ptr_type and type(value) is IntVal:
+                        value = int_to_ptr(value, allocator)
+                    address = pointer.address
+                    if check_kind == 1:
+                        if not (pointer.tag and pointer.checked
+                                and pointer.perms & 2
+                                and pointer.base <= address
+                                and address + pointer_bytes <= pointer.base + pointer.length
+                                and not getattr(pointer.obj, "freed", False)
+                                and not (address == 0 and pointer.obj is None)):
+                            address = check_access(pointer, pointer_bytes, is_write=True)
+                    elif check_kind == 2:
+                        if address < 4096:
+                            address = check_access(pointer, pointer_bytes, is_write=True)
+                    else:
+                        address = check_access(pointer, pointer_bytes, is_write=True)
+                    machine.memory_accesses += 1
+                    if collect_timing:
+                        machine.cycles += hierarchy_access(address, pointer_bytes, is_write=True)
+                    raw = value.address if type(value) is PtrVal else value.unsigned
+                    if clear_shadow and shadow:
+                        for key in range(address - address % 8, address + pointer_bytes, 8):
+                            if key in shadow:
+                                del shadow[key]
+                    write_ptr_raw(address, raw, pointer_bytes)
+                    if uses_shadow:
+                        if address & 7:
+                            machine._shadow_unaligned = True
+                        shadow[address] = value
+                    return next_pc
+            else:
+                size = max(ctype.size(ctx), 1)
+                coerce_bytes = min(ctype.size(ctx), 8) if isinstance(ctype, IntType) else None
+                coerce_signed = getattr(ctype, "signed", True)
+
+                def handler(frame, read_ptr=read_ptr, read_value=read_value, machine=machine,
+                            size=size, coerce_bytes=coerce_bytes, coerce_signed=coerce_signed,
+                            next_pc=next_pc):
+                    pointer = read_ptr(frame)
+                    value = read_value(frame)
+                    if coerce_bytes is not None and type(value) is PtrVal:
+                        value = ptr_to_int(value, bytes=coerce_bytes, signed=coerce_signed,
+                                           pointer_sized=False)
+                    address = pointer.address
+                    if check_kind == 1:
+                        if not (pointer.tag and pointer.checked
+                                and pointer.perms & 2
+                                and pointer.base <= address
+                                and address + size <= pointer.base + pointer.length
+                                and not getattr(pointer.obj, "freed", False)
+                                and not (address == 0 and pointer.obj is None)):
+                            address = check_access(pointer, size, is_write=True)
+                    elif check_kind == 2:
+                        if address < 4096:
+                            address = check_access(pointer, size, is_write=True)
+                    else:
+                        address = check_access(pointer, size, is_write=True)
+                    machine.memory_accesses += 1
+                    if collect_timing:
+                        machine.cycles += hierarchy_access(address, size, is_write=True)
+                    if clear_shadow and shadow:
+                        for key in range(address - address % 8, address + size, 8):
+                            if key in shadow:
+                                del shadow[key]
+                    raw_value = value.unsigned if type(value) is IntVal else int(value)
+                    write_small(address, size, raw_value)
+                    return next_pc
+
+        elif op is Opcode.GEP:
+            read_ptr = _ptr_reader(machine, instr.args[0])
+            read_idx = _reader(machine, instr.args[1])
+            element_size = instr.attrs["element_size"]
+            out = dest if dest is not None else scratch
+            if inline_moves:
+                def handler(frame, read_ptr=read_ptr, read_idx=read_idx,
+                            element_size=element_size, out=out, next_pc=next_pc):
+                    pointer = read_ptr(frame)
+                    idx = read_idx(frame)
+                    delta = (idx.value if type(idx) is IntVal else idx.address) * element_size
+                    frame[out] = PtrVal((pointer.address + delta) & _ADDRESS_MASK,
+                                        pointer.base, pointer.length, pointer.obj,
+                                        pointer.perms, pointer.tag, pointer.checked)
+                    return next_pc
+            else:
+                def handler(frame, read_ptr=read_ptr, read_idx=read_idx,
+                            element_size=element_size, out=out, next_pc=next_pc):
+                    pointer = read_ptr(frame)
+                    idx = read_idx(frame)
+                    delta = (idx.value if type(idx) is IntVal else idx.address) * element_size
+                    frame[out] = ptr_offset(pointer, delta)
+                    return next_pc
+
+        elif op is Opcode.FIELD:
+            read_ptr = _ptr_reader(machine, instr.args[0])
+            field_type = instr.ctype.pointee if isinstance(instr.ctype, PointerType) else None
+            field_size = field_type.size(ctx) if field_type is not None else 1
+            offset = instr.attrs["offset"]
+            field_address = model.field_address
+            out = dest if dest is not None else scratch
+            if inline_field:
+                def handler(frame, read_ptr=read_ptr, offset=offset, out=out, next_pc=next_pc):
+                    pointer = read_ptr(frame)
+                    frame[out] = PtrVal((pointer.address + offset) & _ADDRESS_MASK,
+                                        pointer.base, pointer.length, pointer.obj,
+                                        pointer.perms, pointer.tag, pointer.checked)
+                    return next_pc
+            else:
+                def handler(frame, read_ptr=read_ptr, offset=offset, field_size=field_size,
+                            field_address=field_address, out=out, next_pc=next_pc):
+                    frame[out] = field_address(read_ptr(frame), offset, field_size)
+                    return next_pc
+
+        elif op is Opcode.PTRADD:
+            read_ptr = _ptr_reader(machine, instr.args[0])
+            read_delta = _reader(machine, instr.args[1])
+            out = dest if dest is not None else scratch
+            if inline_moves:
+                def handler(frame, read_ptr=read_ptr, read_delta=read_delta, out=out,
+                            next_pc=next_pc):
+                    pointer = read_ptr(frame)
+                    delta = read_delta(frame).value
+                    frame[out] = PtrVal((pointer.address + delta) & _ADDRESS_MASK,
+                                        pointer.base, pointer.length, pointer.obj,
+                                        pointer.perms, pointer.tag, pointer.checked)
+                    return next_pc
+            else:
+                def handler(frame, read_ptr=read_ptr, read_delta=read_delta, out=out,
+                            next_pc=next_pc):
+                    frame[out] = ptr_offset(read_ptr(frame), read_delta(frame).value)
+                    return next_pc
+
+        elif op is Opcode.PTRDIFF:
+            read_a = _ptr_reader(machine, instr.args[0])
+            read_b = _ptr_reader(machine, instr.args[1])
+            element_size = instr.attrs.get("element_size", 1)
+            ptr_diff = model.ptr_diff
+            out = dest if dest is not None else scratch
+
+            def handler(frame, read_a=read_a, read_b=read_b, element_size=element_size,
+                        ptr_diff=ptr_diff, out=out, next_pc=next_pc):
+                frame[out] = IntVal(ptr_diff(read_a(frame), read_b(frame), element_size),
+                                    bytes=8, signed=True)
+                return next_pc
+
+        elif op is Opcode.PTRTOINT:
+            read_ptr = _ptr_reader(machine, instr.args[0])
+            target = instr.ctype
+            width = min(target.size(ctx), 8)
+            signed = getattr(target, "signed", True)
+            pointer_sized = _is_pointer_sized_int(target)
+            out = dest if dest is not None else scratch
+
+            def handler(frame, read_ptr=read_ptr, width=width, signed=signed,
+                        pointer_sized=pointer_sized, out=out, next_pc=next_pc):
+                frame[out] = ptr_to_int(read_ptr(frame), bytes=width, signed=signed,
+                                        pointer_sized=pointer_sized)
+                return next_pc
+
+        elif op is Opcode.INTTOPTR:
+            read_value = _reader(machine, instr.args[0])
+            appliers = (_qualifier_appliers(machine, instr.ctype)
+                        if isinstance(instr.ctype, PointerType) else ())
+            out = dest if dest is not None else scratch
+
+            def handler(frame, read_value=read_value, appliers=appliers, out=out, next_pc=next_pc):
+                value = read_value(frame)
+                pointer = value if type(value) is PtrVal else int_to_ptr(value, allocator)
+                for apply in appliers:
+                    pointer = apply(pointer)
+                frame[out] = pointer
+                return next_pc
+
+        elif op is Opcode.BITCAST:
+            read_value = _reader(machine, instr.args[0])
+            deconst = model.deconst if instr.attrs.get("deconst") else None
+            appliers = (_qualifier_appliers(machine, instr.ctype)
+                        if isinstance(instr.ctype, PointerType) else ())
+            out = dest if dest is not None else scratch
+
+            def handler(frame, read_value=read_value, deconst=deconst, appliers=appliers,
+                        out=out, next_pc=next_pc):
+                value = read_value(frame)
+                if type(value) is PtrVal:
+                    if deconst is not None:
+                        value = deconst(value)
+                    for apply in appliers:
+                        value = apply(value)
+                frame[out] = value
+                return next_pc
+
+        elif op is Opcode.INTCAST:
+            read_value = _reader(machine, instr.args[0])
+            target = instr.ctype
+            width = min(target.size(ctx), 8)
+            signed = getattr(target, "signed", True)
+            pointer_sized = _is_pointer_sized_int(target)
+            out = dest if dest is not None else scratch
+
+            def handler(frame, read_value=read_value, width=width, signed=signed,
+                        pointer_sized=pointer_sized, out=out, next_pc=next_pc):
+                value = read_value(frame)
+                if type(value) is PtrVal:
+                    frame[out] = ptr_to_int(value, bytes=width, signed=signed,
+                                            pointer_sized=pointer_sized)
+                elif (value.bytes == width and value.signed == signed
+                      and value.pointer_sized == pointer_sized):
+                    frame[out] = value  # no-op conversion: IntVal is immutable
+                else:
+                    frame[out] = value.converted(bytes=width, signed=signed,
+                                                 pointer_sized=pointer_sized)
+                return next_pc
+
+        elif op is Opcode.BINOP:
+            handler = _make_binop(machine, instr, dest if dest is not None else scratch,
+                                  next_pc, propagate_provenance, ptr_to_int)
+
+        elif op is Opcode.UNOP:
+            read_value = _reader(machine, instr.args[0])
+            negate = instr.attrs["operator"] == "neg"
+            out = dest if dest is not None else scratch
+
+            def handler(frame, read_value=read_value, negate=negate, out=out, next_pc=next_pc):
+                value = read_value(frame)
+                if type(value) is not IntVal:
+                    raise InterpreterError("unary arithmetic on a pointer value")
+                frame[out] = value.with_value(-value.value if negate else ~value.value,
+                                              provenance=None)
+                return next_pc
+
+        elif op is Opcode.CMP:
+            read_left = _reader(machine, instr.args[0])
+            read_right = _reader(machine, instr.args[1])
+            operator = instr.attrs["operator"]
+            compare = _CMP_FUNCS.get(operator)
+            ptr_compare = model.ptr_compare
+            out = dest if dest is not None else scratch
+            if compare is None:
+                def handler(frame, read_left=read_left, read_right=read_right, operator=operator):
+                    read_left(frame)
+                    read_right(frame)
+                    raise KeyError(operator)
+            else:
+                def handler(frame, read_left=read_left, read_right=read_right,
+                            operator=operator, compare=compare, ptr_compare=ptr_compare,
+                            out=out, next_pc=next_pc):
+                    left = read_left(frame)
+                    right = read_right(frame)
+                    left_is_ptr = type(left) is PtrVal
+                    if left_is_ptr and type(right) is PtrVal:
+                        result = ptr_compare(left, right, operator)
+                    else:
+                        result = compare(left.address if left_is_ptr else left.value,
+                                         right.address if type(right) is PtrVal else right.value)
+                    frame[out] = _TRUE if result else _FALSE
+                    return next_pc
+
+        elif op is Opcode.CALL:
+            cost = call_cost
+            handler = _make_call(machine, instr, dest, next_pc)
+
+        else:
+            def handler(frame, op=op):
+                raise InterpreterError(f"unsupported IR opcode {op}")
+
+        handlers.append(handler)
+        costs.append(cost)
+
+    return CompiledFunction(function, handlers, costs, nregs, alloca_index)
+
+
+def _make_fallthrough(next_pc: int):
+    return lambda frame: next_pc
+
+
+def _make_binop(machine, instr, out: int, next_pc: int, propagate_provenance, ptr_to_int):
+    read_left = _reader(machine, instr.args[0])
+    read_right = _reader(machine, instr.args[1])
+    operator = instr.attrs["operator"]
+    target = instr.ctype
+    ctx = machine.ctx
+    width = min(target.size(ctx), 8) if target is not None else 8
+    signed = getattr(target, "signed", True)
+    pointer_sized = _is_pointer_sized_int(target)
+    is_division = operator in ("/", "%")
+    fast_op = _INT_BINOPS.get(operator)
+    is_div_op = operator == "/"
+    small = _small_ints(width, signed) if not pointer_sized else None
+    # Skipping the provenance hook for provenance-free operands is only valid
+    # for the base implementation (no source -> None); a model that overrides
+    # the hook gets called unconditionally.
+    fast_noprov = type(machine.model).propagate_provenance is MemoryModel.propagate_provenance
+
+    if fast_op is None and not is_division:
+        def handler(frame):
+            read_left(frame)
+            read_right(frame)
+            raise InterpreterError(f"unknown binary operator {operator!r}")
+        return handler
+
+    def handler(frame):
+        left = read_left(frame)
+        right = read_right(frame)
+        if type(left) is not IntVal:
+            left = ptr_to_int(left, bytes=8, signed=False, pointer_sized=True)
+        if type(right) is not IntVal:
+            right = ptr_to_int(right, bytes=8, signed=False, pointer_sized=True)
+        a = left.value
+        b = right.value
+        if is_division:
+            if b == 0:
+                raise UndefinedBehaviorError("integer division by zero")
+            quotient = abs(a) // abs(b)
+            signed_quotient = quotient if (a >= 0) == (b >= 0) else -quotient
+            raw = signed_quotient if is_div_op else a - signed_quotient * b
+        else:
+            raw = fast_op(a, b)
+        if fast_noprov and left.provenance is None and right.provenance is None:
+            if small is not None and 0 <= raw <= 256:
+                frame[out] = small[raw]
+                return next_pc
+            provenance = None  # matches the base model: no source, no provenance
+        else:
+            provenance = propagate_provenance(left, right, raw)
+        frame[out] = IntVal(raw, bytes=width, signed=signed, provenance=provenance,
+                            pointer_sized=pointer_sized)
+        return next_pc
+
+    return handler
+
+
+def _make_call(machine, instr, dest: int | None, next_pc: int):
+    callee = instr.attrs["callee"]
+    arg_readers = tuple(_reader(machine, arg) for arg in instr.args)
+    function = machine.module.functions.get(callee)
+    result_type = instr.ctype
+
+    if function is not None and function.instrs:
+        int_to_ptr = machine.model.int_to_ptr
+        allocator = machine.allocator
+        params = function.params
+
+        def make_coercer(param_type):
+            if not isinstance(param_type, PointerType):
+                return None
+            appliers = _qualifier_appliers(machine, param_type)
+
+            def coerce(value):
+                if type(value) is PtrVal:
+                    for apply in appliers:
+                        value = apply(value)
+                    return value
+                if type(value) is IntVal:
+                    return int_to_ptr(value, allocator)
+                return value
+
+            return coerce
+
+        plan = tuple(
+            (reader, make_coercer(params[i][1]) if i < len(params) else None)
+            for i, reader in enumerate(arg_readers)
+        )
+        machine_call = machine._call
+
+        def handler(frame):
+            arguments = []
+            append = arguments.append
+            for reader, coerce in plan:
+                value = reader(frame)
+                append(coerce(value) if coerce is not None else value)
+            result = machine_call(function, arguments)
+            if dest is not None:
+                frame[dest] = result
+            return next_pc
+
+        return handler
+
+    intrinsic = INTRINSICS.get(callee)
+    if intrinsic is None:
+        def handler(frame):
+            raise InterpreterError(f"call to unknown function {callee!r}")
+        return handler
+
+    def handler(frame):
+        arguments = [reader(frame) for reader in arg_readers]
+        result = intrinsic(machine, arguments, result_type)
+        if dest is not None:
+            frame[dest] = result
+        return next_pc
+
+    return handler

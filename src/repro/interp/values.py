@@ -12,16 +12,27 @@ is what lets the different memory models disagree about the pointer idioms:
   current address, the bounds and permissions granted, a CHERI-style tag and
   the heap object it was derived from.  Individual memory models interpret
   (or ignore) these fields according to their own rules.
+
+Both classes are allocated millions of times per simulated run, so they are
+``slots=True`` dataclasses, width normalisation uses precomputed mask tables
+instead of per-value shift arithmetic, and the ``moved_*``/``with_*`` helpers
+construct replacements directly rather than going through
+:func:`dataclasses.replace`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 from repro.common.bitops import sign_extend, truncate
 
+#: precomputed masks / sign thresholds / moduli for 0..8-byte widths.
+_MASKS = tuple((1 << (8 * i)) - 1 for i in range(9))
+_SIGN_MIN = tuple(1 << (8 * i - 1) if i else 0 for i in range(9))
+_MODULI = tuple(1 << (8 * i) for i in range(9))
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Provenance:
     """Where an integer value came from, if it was derived from a pointer."""
 
@@ -33,7 +44,7 @@ class Provenance:
         return Provenance(pointer=self.pointer, modified=True)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IntVal:
     """A fixed-width integer value."""
 
@@ -46,14 +57,26 @@ class IntVal:
     pointer_sized: bool = False
 
     def __post_init__(self) -> None:
-        wrapped = truncate(self.value, self.bytes * 8)
-        if self.signed:
-            wrapped = sign_extend(wrapped, self.bytes * 8)
-        object.__setattr__(self, "value", wrapped)
+        value = self.value
+        width = self.bytes
+        if 0 < width <= 8:
+            wrapped = value & _MASKS[width]
+            if self.signed and wrapped >= _SIGN_MIN[width]:
+                wrapped -= _MODULI[width]
+        else:
+            wrapped = truncate(value, width * 8)
+            if self.signed:
+                wrapped = sign_extend(wrapped, width * 8)
+        if wrapped != value:
+            object.__setattr__(self, "value", wrapped)
 
     @property
     def unsigned(self) -> int:
-        return truncate(self.value, self.bytes * 8)
+        value = self.value
+        if value >= 0:
+            return value
+        width = self.bytes
+        return value & (_MASKS[width] if width <= 8 else (1 << (width * 8)) - 1)
 
     @property
     def is_true(self) -> bool:
@@ -84,7 +107,7 @@ PERM_WRITE = 2
 PERM_ALL = PERM_READ | PERM_WRITE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PtrVal:
     """A pointer value.
 
@@ -122,26 +145,28 @@ class PtrVal:
         return self.base <= self.address < self.top or (self.address == self.top and self.length == 0)
 
     def moved_to(self, address: int) -> "PtrVal":
-        return replace(self, address=address & _ADDRESS_MASK)
+        return PtrVal(address & _ADDRESS_MASK, self.base, self.length, self.obj,
+                      self.perms, self.tag, self.checked)
 
     def moved_by(self, delta: int) -> "PtrVal":
         # Pointer arithmetic wraps modulo 2**64, exactly like address
         # arithmetic on 64-bit hardware; this is what makes subtracting an
         # unsigned offset (e.g. ``p - offsetof(...)``) land on the right
         # address.
-        return replace(self, address=(self.address + delta) & _ADDRESS_MASK)
+        return PtrVal((self.address + delta) & _ADDRESS_MASK, self.base, self.length,
+                      self.obj, self.perms, self.tag, self.checked)
 
     def with_bounds(self, base: int, length: int) -> "PtrVal":
-        return replace(self, base=base, length=length)
+        return PtrVal(self.address, base, length, self.obj, self.perms, self.tag, self.checked)
 
     def with_perms(self, perms: int) -> "PtrVal":
-        return replace(self, perms=perms)
+        return PtrVal(self.address, self.base, self.length, self.obj, perms, self.tag, self.checked)
 
     def untagged(self) -> "PtrVal":
-        return replace(self, tag=False)
+        return PtrVal(self.address, self.base, self.length, self.obj, self.perms, False, self.checked)
 
     def unchecked(self) -> "PtrVal":
-        return replace(self, checked=False)
+        return PtrVal(self.address, self.base, self.length, self.obj, self.perms, self.tag, False)
 
     def __str__(self) -> str:  # pragma: no cover - debugging helper
         flags = ("t" if self.tag else "-") + ("c" if self.checked else "-")

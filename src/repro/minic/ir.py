@@ -131,14 +131,33 @@ class Function:
     variadic: bool = False
     line: int = 0
     source_lines: int = 0
+    #: cached label map plus the (list identity, length) it was computed for.
+    _label_cache: dict[str, int] | None = field(default=None, init=False, repr=False, compare=False)
+    _label_cache_key: tuple[int, int] | None = field(default=None, init=False, repr=False, compare=False)
 
     def label_index(self) -> dict[str, int]:
-        """Map label names to instruction indices (computed on demand)."""
-        return {
-            instr.attrs["name"]: index
-            for index, instr in enumerate(self.instrs)
-            if instr.op is Opcode.LABEL
-        }
+        """Map label names to instruction indices (cached).
+
+        The cache is keyed on the identity and length of ``instrs`` so that
+        replacing the instruction list (as the optimizer's DCE pass does)
+        invalidates it automatically; passes that mutate instructions in place
+        should call :meth:`invalidate_label_index`.  Callers must treat the
+        returned dict as read-only.
+        """
+        key = (id(self.instrs), len(self.instrs))
+        if self._label_cache is None or self._label_cache_key != key:
+            self._label_cache = {
+                instr.attrs["name"]: index
+                for index, instr in enumerate(self.instrs)
+                if instr.op is Opcode.LABEL
+            }
+            self._label_cache_key = key
+        return self._label_cache
+
+    def invalidate_label_index(self) -> None:
+        """Drop the cached label map after mutating ``instrs`` in place."""
+        self._label_cache = None
+        self._label_cache_key = None
 
     def __str__(self) -> str:
         header = f"function {self.name}({', '.join(name for name, _ in self.params)})"

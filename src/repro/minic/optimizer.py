@@ -53,6 +53,9 @@ def optimize_module(module: Module, *, passes: int = 2) -> Module:
             changed |= eliminate_dead_code(function)
             if not changed:
                 break
+        # Both passes mutate instructions (possibly in place): drop any label
+        # map cached before optimization.
+        function.invalidate_label_index()
     return module
 
 

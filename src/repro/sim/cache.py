@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from repro.common.config import CacheConfig, TimingConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessStats:
     """Counters accumulated by a cache level or by the whole hierarchy."""
 
@@ -63,9 +63,14 @@ class CacheLevel:
         self.config = config
         self.name = name
         self.stats = AccessStats()
-        # each set maps line tag -> LRU timestamp
+        # Each set maps line tag -> LRU timestamp.  The dict is additionally
+        # kept in recency order (hits delete + reinsert), so the LRU victim is
+        # always the first key — no O(ways) min() scan on evictions.
         self._sets: list[dict[int, int]] = [dict() for _ in range(config.num_sets)]
         self._clock = 0
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._associativity = config.associativity
 
     def reset(self) -> None:
         """Drop all cached lines and statistics."""
@@ -73,30 +78,34 @@ class CacheLevel:
         self._sets = [dict() for _ in range(self.config.num_sets)]
         self._clock = 0
 
-    def _locate(self, address: int) -> tuple[int, int]:
-        line = address // self.config.line_bytes
-        set_index = line % self.config.num_sets
-        tag = line // self.config.num_sets
-        return set_index, tag
-
     def access(self, address: int, *, is_write: bool) -> bool:
-        """Touch the line containing ``address``; return True on a hit."""
-        self._clock += 1
-        set_index, tag = self._locate(address)
-        cache_set = self._sets[set_index]
+        """Touch the line containing ``address``; return True on a hit.
+
+        NOTE: MemoryHierarchy.access inlines a copy of this body for the
+        single-line L1 case — keep the two in sync when changing counters,
+        recency handling or eviction.
+        """
+        self._clock = clock = self._clock + 1
+        line = address // self._line_bytes
+        num_sets = self._num_sets
+        cache_set = self._sets[line % num_sets]
+        tag = line // num_sets
+        stats = self.stats
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
+            stats.reads += 1
         if tag in cache_set:
-            cache_set[tag] = self._clock
-            self.stats.hits += 1
+            # Refresh recency: delete + reinsert moves the key to the end of
+            # the dict's insertion order, so iteration order == LRU order.
+            del cache_set[tag]
+            cache_set[tag] = clock
+            stats.hits += 1
             return True
-        self.stats.misses += 1
-        if len(cache_set) >= self.config.associativity:
-            victim = min(cache_set, key=cache_set.get)
-            del cache_set[victim]
-        cache_set[tag] = self._clock
+        stats.misses += 1
+        if len(cache_set) >= self._associativity:
+            del cache_set[next(iter(cache_set))]
+        cache_set[tag] = clock
         return False
 
     def lines_touched(self, address: int, size: int) -> list[int]:
@@ -125,6 +134,9 @@ class MemoryHierarchy:
         self.l2 = CacheLevel(self.timing.l2, "L2")
         self.dram_accesses = 0
         self.stall_cycles = 0
+        self._l1_hit_latency = self.timing.l1.hit_latency
+        self._l2_hit_latency = self.timing.l2.hit_latency
+        self._dram_latency = self.timing.dram_latency
 
     def reset(self) -> None:
         self.l1.reset()
@@ -138,22 +150,58 @@ class MemoryHierarchy:
         Accesses larger than a cache line (e.g. a 32-byte capability store
         with 64-byte lines stays within one line, but a misaligned multi-line
         access would not) touch every covered line.
+
+        The single-line case — every scalar access the interpreter issues —
+        runs the L1 lookup inline (same counters/LRU updates as
+        :meth:`CacheLevel.access`) to avoid three Python calls per access.
         """
+        l1 = self.l1
+        line_bytes = l1._line_bytes
+        line = address // line_bytes
+        last_byte = address + size - 1
+        if last_byte < address:
+            last_byte = address
+        if last_byte // line_bytes == line:
+            l1._clock = clock = l1._clock + 1
+            num_sets = l1._num_sets
+            cache_set = l1._sets[line % num_sets]
+            tag = line // num_sets
+            stats = l1.stats
+            if is_write:
+                stats.writes += 1
+            else:
+                stats.reads += 1
+            if tag in cache_set:
+                del cache_set[tag]
+                cache_set[tag] = clock
+                stats.hits += 1
+                total = self._l1_hit_latency
+            else:
+                stats.misses += 1
+                if len(cache_set) >= l1._associativity:
+                    del cache_set[next(iter(cache_set))]
+                cache_set[tag] = clock
+                total = self._l1_hit_latency + self._l2_hit_latency
+                if not self.l2.access(line * line_bytes, is_write=is_write):
+                    self.dram_accesses += 1
+                    total += self._dram_latency
+            self.stall_cycles += total
+            return total
         total = 0
-        for line_address in self.l1.lines_touched(address, size):
+        for line_address in l1.lines_touched(address, size):
             total += self._access_line(line_address, is_write=is_write)
         self.stall_cycles += total
         return total
 
     def _access_line(self, address: int, *, is_write: bool) -> int:
-        cycles = self.timing.l1.hit_latency
+        cycles = self._l1_hit_latency
         if self.l1.access(address, is_write=is_write):
             return cycles
-        cycles += self.timing.l2.hit_latency
+        cycles += self._l2_hit_latency
         if self.l2.access(address, is_write=is_write):
             return cycles
         self.dram_accesses += 1
-        return cycles + self.timing.dram_latency
+        return cycles + self._dram_latency
 
     def stats(self) -> HierarchyStats:
         return HierarchyStats(

@@ -35,6 +35,10 @@ class TaggedMemory:
     """
 
     PAGE_SIZE = 4096
+    #: shift/mask forms of PAGE_SIZE used by the scalar fast paths below.
+    _PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
+    _PAGE_MASK = PAGE_SIZE - 1
+    assert PAGE_SIZE == 1 << _PAGE_SHIFT, "PAGE_SIZE must be a power of two"
 
     def __init__(self, size: int) -> None:
         if size <= 0:
@@ -72,7 +76,15 @@ class TaggedMemory:
 
     def read_bytes(self, address: int, length: int) -> bytes:
         """Read ``length`` raw bytes starting at ``address``."""
-        self._check_range(address, length)
+        if address < 0 or address + length > self._size:
+            self._check_range(address, length)
+        page_index, offset = divmod(address, self.PAGE_SIZE)
+        if offset + length <= self.PAGE_SIZE:
+            # Fast path: the whole read lives in one page.
+            page = self._pages.get(page_index)
+            if page is None:
+                return bytes(length)
+            return bytes(page[offset : offset + length])
         out = bytearray()
         remaining = length
         cursor = address
@@ -90,8 +102,20 @@ class TaggedMemory:
 
     def write_bytes(self, address: int, data: bytes) -> None:
         """Write raw bytes, clearing capability tags on every line touched."""
-        self._check_range(address, len(data))
-        self._clear_tags_in_range(address, len(data))
+        length = len(data)
+        if address < 0 or address + length > self._size:
+            self._check_range(address, length)
+        if self._tags:
+            self._clear_tags_in_range(address, length)
+        page_index, offset = divmod(address, self.PAGE_SIZE)
+        if offset + length <= self.PAGE_SIZE:
+            # Fast path: the whole write lives in one page.
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(self.PAGE_SIZE)
+                self._pages[page_index] = page
+            page[offset : offset + length] = data
+            return
         cursor = address
         view = memoryview(data)
         while view:
@@ -113,6 +137,80 @@ class TaggedMemory:
     def write_int(self, address: int, size: int, value: int) -> None:
         """Write a little-endian integer of ``size`` bytes (tags cleared)."""
         self.write_bytes(address, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    # ------------------------------------------------------------------
+    # Scalar fast paths (interpreter hot loop)
+    # ------------------------------------------------------------------
+    #
+    # These bypass the intermediate ``bytes`` objects of read_bytes/write_bytes
+    # for the ≤8-byte aligned-page accesses the interpreter issues on every
+    # load/store.  They are observationally identical to the generic paths.
+
+    def read_u64(self, address: int) -> int:
+        """Read an unsigned little-endian 64-bit integer."""
+        if address < 0 or address + 8 > self._size:
+            self._check_range(address, 8)
+        offset = address & self._PAGE_MASK
+        if offset + 8 <= self.PAGE_SIZE:
+            page = self._pages.get(address >> self._PAGE_SHIFT)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset : offset + 8], "little")
+        return int.from_bytes(self.read_bytes(address, 8), "little")
+
+    def read_small(self, address: int, size: int, signed: bool) -> int:
+        """Read a little-endian integer of ``size`` (≤ page) bytes."""
+        if address < 0 or address + size > self._size:
+            self._check_range(address, size)
+        offset = address & self._PAGE_MASK
+        if offset + size <= self.PAGE_SIZE:
+            page = self._pages.get(address >> self._PAGE_SHIFT)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset : offset + size], "little", signed=signed)
+        return int.from_bytes(self.read_bytes(address, size), "little", signed=signed)
+
+    def write_small(self, address: int, size: int, value: int) -> None:
+        """Write a little-endian integer of ``size`` (≤ page) bytes."""
+        if address < 0 or address + size > self._size:
+            self._check_range(address, size)
+        if self._tags:
+            self._clear_tags_in_range(address, size)
+        offset = address & self._PAGE_MASK
+        if offset + size <= self.PAGE_SIZE:
+            page_index = address >> self._PAGE_SHIFT
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(self.PAGE_SIZE)
+                self._pages[page_index] = page
+            page[offset : offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+            return
+        self.write_bytes(address, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    def write_ptr_raw(self, address: int, raw: int, width: int) -> None:
+        """Write a stored pointer: 8 bytes of address, zero-padded to ``width``.
+
+        This is the in-memory representation the interpreter uses for every
+        pointer store (the shadow table carries the metadata); ``width`` is the
+        model's pointer size, e.g. 32 for a 256-bit capability.
+        """
+        span = width if width > 8 else 8
+        if address < 0 or address + span > self._size:
+            self._check_range(address, span)
+        if self._tags:
+            self._clear_tags_in_range(address, span)
+        offset = address & self._PAGE_MASK
+        if offset + span <= self.PAGE_SIZE:
+            page_index = address >> self._PAGE_SHIFT
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(self.PAGE_SIZE)
+                self._pages[page_index] = page
+            page[offset : offset + 8] = (raw & ((1 << 64) - 1)).to_bytes(8, "little")
+            if span > 8:
+                page[offset + 8 : offset + span] = bytes(span - 8)
+            return
+        self.write_bytes(address, (raw & ((1 << 64) - 1)).to_bytes(8, "little") + bytes(span - 8))
 
     # ------------------------------------------------------------------
     # Capability access

@@ -1,0 +1,195 @@
+"""Golden-metrics regression test: the semantic guardrail for perf PRs.
+
+The predecoded threaded-dispatch engine (and every future optimization of the
+interpreter or memory stack) must be **observationally identical** to the
+original opcode-chain interpreter: same instruction/cycle/memory-access
+counts, same output bytes, same allocations, same checkpoints and same trap
+kinds for every memory model in the paper's matrix.
+
+The values below were recorded by running the pre-optimization seed
+interpreter (commit 607eec0) over five small fixed workloads under all seven
+models.  If an optimization changes any number here, it changed simulated
+behaviour — fix the optimization, do not re-record the goldens without
+understanding exactly why they moved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import run_under_model
+from repro.interp.models import PAPER_MODEL_ORDER
+from repro.workloads import dhrystone
+from repro.workloads.olden import treeadd
+
+#: pointer subtraction (the SUB idiom): traps under CHERIv2, runs elsewhere.
+SUB_IDIOM = r"""
+int main(void) {
+    int arr[8];
+    int i;
+    for (i = 0; i < 8; i++) { arr[i] = i * 3; }
+    int *p = &arr[6];
+    int *q = &arr[1];
+    long d = p - q;
+    mini_output_int(d);
+    mini_output_int(arr[(int)d]);
+    return 0;
+}
+"""
+
+#: memcpy of pointer-carrying structs: exercises the shadow-table move,
+#: string intrinsics and memset (the zero-copy memory fast paths).
+SHADOW_COPY = r"""
+struct node { struct node *next; long value; };
+
+int main(void) {
+    struct node *a = (struct node *)malloc(sizeof(struct node));
+    struct node *b = (struct node *)malloc(sizeof(struct node));
+    struct node *copies = (struct node *)malloc(4 * sizeof(struct node));
+    a->next = b;
+    a->value = 41;
+    b->next = 0;
+    b->value = 1;
+    memcpy(&copies[1], a, sizeof(struct node));
+    memcpy(&copies[2], b, sizeof(struct node));
+    long total = copies[1].value + copies[1].next->value;
+    mini_output_int(total);
+    char buffer[64];
+    sprintf(buffer, "total=%d", total);
+    int n = strlen(buffer);
+    mini_output_int(n);
+    printf("%s\n", buffer);
+    memset(&copies[2], 0, sizeof(struct node));
+    mini_output_int(copies[2].value);
+    return total == 42 ? 0 : 1;
+}
+"""
+
+#: pointer metadata at non-8-aligned addresses, created both by memcpy with an
+#: unaligned delta and by a direct unaligned pointer store — the cases where
+#: copy_memory's aligned-slot fast path must fall back to the full table scan.
+UNALIGNED_SHADOW = r"""
+int main(void) {
+    char buffer[64];
+    char copy[64];
+    int x = 7;
+    int *p = &x;
+    memcpy(buffer + 4, (char *)&p, sizeof(int *));
+    memcpy(copy, buffer, 64);
+    int *q;
+    memcpy((char *)&q, copy + 4, sizeof(int *));
+    mini_output_int(*q);
+    int **slot = (int **)(buffer + 12);
+    *slot = &x;
+    memcpy(copy, buffer, 64);
+    int **out = (int **)(copy + 12);
+    mini_output_int(**out);
+    return 0;
+}
+"""
+
+WORKLOADS = {
+    "treeadd_d6": lambda: treeadd.source(depth=6, passes=1),
+    "dhrystone_20": lambda: dhrystone.source(runs=20),
+    "sub_idiom": lambda: SUB_IDIOM,
+    "shadow_copy": lambda: SHADOW_COPY,
+    "unaligned_shadow": lambda: UNALIGNED_SHADOW,
+}
+
+#: recorded from the pre-optimization interpreter; see module docstring.
+GOLDEN = {
+    'unaligned_shadow/cheri_v2': dict(instructions=53, cycles=262, memory_accesses=19, allocations=7,
+           output='7\n7\n', exit_code=0, trap=None, checkpoints=[]),
+    'unaligned_shadow/cheri_v3': dict(instructions=53, cycles=262, memory_accesses=19, allocations=7,
+           output='7\n7\n', exit_code=0, trap=None, checkpoints=[]),
+    'unaligned_shadow/hardbound': dict(instructions=53, cycles=226, memory_accesses=19, allocations=7,
+           output='7\n7\n', exit_code=0, trap=None, checkpoints=[]),
+    'unaligned_shadow/mpx': dict(instructions=53, cycles=226, memory_accesses=19, allocations=7,
+           output='7\n7\n', exit_code=0, trap=None, checkpoints=[]),
+    'unaligned_shadow/pdp11': dict(instructions=53, cycles=226, memory_accesses=19, allocations=7,
+           output='7\n7\n', exit_code=0, trap=None, checkpoints=[]),
+    'unaligned_shadow/relaxed': dict(instructions=53, cycles=226, memory_accesses=19, allocations=7,
+           output='7\n7\n', exit_code=0, trap=None, checkpoints=[]),
+    'unaligned_shadow/strict': dict(instructions=53, cycles=226, memory_accesses=19, allocations=7,
+           output='7\n7\n', exit_code=0, trap=None, checkpoints=[]),
+    'dhrystone_20/cheri_v2': dict(instructions=8806, cycles=15749, memory_accesses=5817, allocations=802,
+           output='', exit_code=0, trap=None, checkpoints=[5, 7]),
+    'dhrystone_20/cheri_v3': dict(instructions=8806, cycles=15749, memory_accesses=5817, allocations=802,
+           output='', exit_code=0, trap=None, checkpoints=[5, 7]),
+    'dhrystone_20/hardbound': dict(instructions=8806, cycles=15676, memory_accesses=5817, allocations=802,
+           output='', exit_code=0, trap=None, checkpoints=[5, 7]),
+    'dhrystone_20/mpx': dict(instructions=8806, cycles=15676, memory_accesses=5817, allocations=802,
+           output='', exit_code=0, trap=None, checkpoints=[5, 7]),
+    'dhrystone_20/pdp11': dict(instructions=8806, cycles=15676, memory_accesses=5817, allocations=802,
+           output='', exit_code=0, trap=None, checkpoints=[5, 7]),
+    'dhrystone_20/relaxed': dict(instructions=8806, cycles=15676, memory_accesses=5817, allocations=802,
+           output='', exit_code=0, trap=None, checkpoints=[5, 7]),
+    'dhrystone_20/strict': dict(instructions=8806, cycles=15676, memory_accesses=5817, allocations=802,
+           output='', exit_code=0, trap=None, checkpoints=[5, 7]),
+    'shadow_copy/cheri_v2': dict(instructions=92, cycles=505, memory_accesses=69, allocations=12,
+           output='42\n8\ntotal=42\n0\n', exit_code=0, trap=None, checkpoints=[]),
+    'shadow_copy/cheri_v3': dict(instructions=92, cycles=505, memory_accesses=69, allocations=12,
+           output='42\n8\ntotal=42\n0\n', exit_code=0, trap=None, checkpoints=[]),
+    'shadow_copy/hardbound': dict(instructions=92, cycles=397, memory_accesses=69, allocations=12,
+           output='42\n8\ntotal=42\n0\n', exit_code=0, trap=None, checkpoints=[]),
+    'shadow_copy/mpx': dict(instructions=92, cycles=397, memory_accesses=69, allocations=12,
+           output='42\n8\ntotal=42\n0\n', exit_code=0, trap=None, checkpoints=[]),
+    'shadow_copy/pdp11': dict(instructions=92, cycles=397, memory_accesses=69, allocations=12,
+           output='42\n8\ntotal=42\n0\n', exit_code=0, trap=None, checkpoints=[]),
+    'shadow_copy/relaxed': dict(instructions=92, cycles=397, memory_accesses=69, allocations=12,
+           output='42\n8\ntotal=42\n0\n', exit_code=0, trap=None, checkpoints=[]),
+    'shadow_copy/strict': dict(instructions=92, cycles=397, memory_accesses=69, allocations=12,
+           output='42\n8\ntotal=42\n0\n', exit_code=0, trap=None, checkpoints=[]),
+    'sub_idiom/cheri_v2': dict(instructions=148, cycles=265, memory_accesses=54, allocations=5,
+           output='', exit_code=None, trap='MemorySafetyError', checkpoints=[]),
+    'sub_idiom/cheri_v3': dict(instructions=159, cycles=320, memory_accesses=58, allocations=5,
+           output='5\n15\n', exit_code=0, trap=None, checkpoints=[]),
+    'sub_idiom/hardbound': dict(instructions=159, cycles=284, memory_accesses=58, allocations=5,
+           output='5\n15\n', exit_code=0, trap=None, checkpoints=[]),
+    'sub_idiom/mpx': dict(instructions=159, cycles=284, memory_accesses=58, allocations=5,
+           output='5\n15\n', exit_code=0, trap=None, checkpoints=[]),
+    'sub_idiom/pdp11': dict(instructions=159, cycles=284, memory_accesses=58, allocations=5,
+           output='5\n15\n', exit_code=0, trap=None, checkpoints=[]),
+    'sub_idiom/relaxed': dict(instructions=159, cycles=284, memory_accesses=58, allocations=5,
+           output='5\n15\n', exit_code=0, trap=None, checkpoints=[]),
+    'sub_idiom/strict': dict(instructions=159, cycles=284, memory_accesses=58, allocations=5,
+           output='5\n15\n', exit_code=0, trap=None, checkpoints=[]),
+    'treeadd_d6/cheri_v2': dict(instructions=3775, cycles=9332, memory_accesses=1471, allocations=323,
+           output='', exit_code=0, trap=None, checkpoints=[63]),
+    'treeadd_d6/cheri_v3': dict(instructions=3775, cycles=9332, memory_accesses=1471, allocations=323,
+           output='', exit_code=0, trap=None, checkpoints=[63]),
+    'treeadd_d6/hardbound': dict(instructions=3775, cycles=6920, memory_accesses=1471, allocations=323,
+           output='', exit_code=0, trap=None, checkpoints=[63]),
+    'treeadd_d6/mpx': dict(instructions=3775, cycles=6920, memory_accesses=1471, allocations=323,
+           output='', exit_code=0, trap=None, checkpoints=[63]),
+    'treeadd_d6/pdp11': dict(instructions=3775, cycles=6920, memory_accesses=1471, allocations=323,
+           output='', exit_code=0, trap=None, checkpoints=[63]),
+    'treeadd_d6/relaxed': dict(instructions=3775, cycles=6920, memory_accesses=1471, allocations=323,
+           output='', exit_code=0, trap=None, checkpoints=[63]),
+    'treeadd_d6/strict': dict(instructions=3775, cycles=6920, memory_accesses=1471, allocations=323,
+           output='', exit_code=0, trap=None, checkpoints=[63]),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("model", PAPER_MODEL_ORDER)
+def test_metrics_match_golden(workload: str, model: str) -> None:
+    expected = GOLDEN[f"{workload}/{model}"]
+    result = run_under_model(WORKLOADS[workload](), model)
+    observed = dict(
+        instructions=result.instructions,
+        cycles=result.cycles,
+        memory_accesses=result.memory_accesses,
+        allocations=result.allocations,
+        output=result.output.decode("latin-1"),
+        exit_code=result.exit_code,
+        trap=type(result.trap).__name__ if result.trap else None,
+        checkpoints=result.checkpoints,
+    )
+    assert observed == expected
+
+
+def test_golden_covers_full_matrix() -> None:
+    assert set(GOLDEN) == {
+        f"{workload}/{model}" for workload in WORKLOADS for model in PAPER_MODEL_ORDER
+    }
