@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Profile the abstract-machine interpreter over one workload/model pair.
+
+Perf PRs should start from data, not guesses: this helper runs cProfile over
+``AbstractMachine.run`` (compilation excluded, like the throughput benchmark)
+and prints the top functions by cumulative time, so the next optimization
+target is visible immediately.  See PERFORMANCE.md ("Profiling workflow").
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_interp.py                    # treeadd/cheri_v3
+    PYTHONPATH=src python scripts/profile_interp.py dhrystone pdp11
+    PYTHONPATH=src python scripts/profile_interp.py tcpdump cheri_v3 --sort tottime
+    PYTHONPATH=src python scripts/profile_interp.py treeadd pdp11 --top 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.core.api import compile_for_model
+from repro.interp.machine import AbstractMachine
+from repro.interp.models import get_model
+
+#: workload name -> zero-argument callable producing mini-C source.  The sizes
+#: match benchmarks/test_perf_interp.py so profiles explain benchmark numbers.
+WORKLOADS = {
+    "treeadd": lambda: _treeadd(),
+    "bisort": lambda: _bisort(),
+    "dhrystone": lambda: _dhrystone(),
+    "tcpdump": lambda: _tcpdump(),
+    "zlib_like": lambda: _zlib_like(),
+}
+
+
+def _treeadd() -> str:
+    from repro.workloads.olden import treeadd
+
+    return treeadd.source(depth=10, passes=3)
+
+
+def _bisort() -> str:
+    from repro.workloads.olden import bisort
+
+    return bisort.source(count=bisort.DEFAULT_COUNT)
+
+
+def _dhrystone() -> str:
+    from repro.workloads import dhrystone
+
+    return dhrystone.source(runs=dhrystone.DEFAULT_RUNS)
+
+
+def _tcpdump() -> str:
+    from repro.workloads import tcpdump
+
+    return tcpdump.baseline_source(packets=tcpdump.DEFAULT_PACKETS)
+
+
+def _zlib_like() -> str:
+    from repro.workloads import zlib_like
+
+    return zlib_like.source()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("workload", nargs="?", default="treeadd", choices=sorted(WORKLOADS))
+    parser.add_argument("model", nargs="?", default="cheri_v3")
+    parser.add_argument("--top", type=int, default=25, help="rows to print (default 25)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key (default cumulative)")
+    args = parser.parse_args(argv)
+
+    source = WORKLOADS[args.workload]()
+    module = compile_for_model(source, args.model)
+    machine = AbstractMachine(module, get_model(args.model), max_instructions=200_000_000)
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = machine.run()
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    if result.trapped:
+        print(f"workload trapped: {result.trap!r}", file=sys.stderr)
+        return 1
+    print(f"{args.workload}/{args.model}: {result.instructions} instructions in "
+          f"{elapsed:.3f}s under profiler "
+          f"({result.instructions / elapsed:,.0f} insns/s; profiling overhead included)")
+    stats = pstats.Stats(profiler)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,11 +60,13 @@ class CapabilityGarbageCollector:
     # ------------------------------------------------------------------
 
     def _pointer_entries_in(self, obj: HeapObject) -> list[tuple[int, PtrVal]]:
-        """(address, pointer) pairs for every tagged pointer stored in ``obj``."""
+        """(address, pointer) pairs for every tagged pointer stored in ``obj``.
+
+        The shadow table's per-page index makes this O(entries within the
+        object) instead of O(total shadow entries) per traced object.
+        """
         entries = []
-        for address, value in self.machine.shadow.items():
-            if not (obj.base <= address < obj.top):
-                continue
+        for address, value in self.machine.shadow.entries_in_range(obj.base, obj.top):
             pointer = self._as_pointer(value)
             if pointer is not None:
                 entries.append((address, pointer))
@@ -138,10 +140,14 @@ class CapabilityGarbageCollector:
             data = memory.read_bytes(old.base, old.size)
             memory.write_bytes(new.base, data)
             delta = new.base - old.base
-            moved_shadow = {}
-            for address in [a for a in self.machine.shadow if old.base <= a < old.top]:
-                moved_shadow[address + delta] = self.machine.shadow.pop(address)
-            self.machine.shadow.update(moved_shadow)
+            # Range query via the page index: O(entries in the object), and
+            # correct for metadata at any alignment.
+            shadow = self.machine.shadow
+            moved_shadow = shadow.entries_in_range(old.base, old.top)
+            for address, _ in moved_shadow:
+                shadow.pop(address)
+            for address, value in moved_shadow:
+                shadow.set(address + delta, value)
             old.forwarded_to = new.base
             allocator.free(old)
             forwarding[old.uid] = (old, new)

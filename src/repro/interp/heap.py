@@ -64,6 +64,9 @@ class ObjectAllocator:
     invalid, which is how the models detect dangling stack pointers).
     """
 
+    __slots__ = ("_next", "_alignment", "_uid", "objects", "_bases",
+                 "_by_base", "_frames", "bytes_allocated", "allocation_count")
+
     def __init__(
         self,
         *,
@@ -87,15 +90,33 @@ class ObjectAllocator:
     def _allocate(self, size: int, kind: str, name: str = "", *, alignment: int | None = None) -> HeapObject:
         if size < 0:
             raise InterpreterError(f"allocation of negative size {size}")
-        size = max(size, 1)
+        if size < 1:
+            size = 1
         alignment = alignment or self._alignment
         region = "global" if kind in ("global", "string") else kind
-        base = align_up(self._next[region], alignment)
-        self._next[region] = base + align_up(size, self._alignment)
-        self._uid += 1
-        obj = HeapObject(uid=self._uid, base=base, size=size, kind=kind, name=name)
-        self.objects[obj.uid] = obj
-        bisect.insort(self._bases, base)
+        # Power-of-two alignments (the only ones the machine issues) round
+        # inline; anything else goes through the generic helper.
+        cursor = self._next[region]
+        if alignment & (alignment - 1) == 0:
+            base = (cursor + alignment - 1) & -alignment
+        else:
+            base = align_up(cursor, alignment)
+        step = self._alignment
+        if step & (step - 1) == 0:
+            self._next[region] = base + ((size + step - 1) & -step)
+        else:
+            self._next[region] = base + align_up(size, step)
+        self._uid = uid = self._uid + 1
+        obj = HeapObject(uid=uid, base=base, size=size, kind=kind, name=name)
+        self.objects[uid] = obj
+        bases = self._bases
+        if not bases or base > bases[-1]:
+            # Bump allocation means new objects almost always carry the
+            # highest base yet (the stack region sits above heap and
+            # globals), so the sorted index is an append, not an insort.
+            bases.append(base)
+        else:
+            bisect.insort(bases, base)
         self._by_base[base] = obj
         self.bytes_allocated += size
         self.allocation_count += 1
@@ -136,12 +157,19 @@ class ObjectAllocator:
         if not self._frames:
             raise InterpreterError("pop_frame with no active frame")
         saved_cursor, objects = self._frames.pop()
-        for obj in objects:
+        bases = self._bases
+        by_base = self._by_base
+        for obj in reversed(objects):
             obj.freed = True
-            self._by_base.pop(obj.base, None)
-            index = bisect.bisect_left(self._bases, obj.base)
-            if index < len(self._bases) and self._bases[index] == obj.base:
-                del self._bases[index]
+            by_base.pop(obj.base, None)
+            # Frame objects are the newest allocations: nearly always a pop
+            # off the end of the sorted index rather than a mid-list delete.
+            if bases and bases[-1] == obj.base:
+                bases.pop()
+            else:
+                index = bisect.bisect_left(bases, obj.base)
+                if index < len(bases) and bases[index] == obj.base:
+                    del bases[index]
         self._next["stack"] = saved_cursor
 
     # ------------------------------------------------------------------

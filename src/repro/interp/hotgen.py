@@ -1,0 +1,381 @@
+"""Source-specialized load/store handlers for the predecoded interpreter.
+
+The generic closure-based handlers in :mod:`repro.interp.predecode` branch on
+a dozen compile-time-constant flags (check policy, fused delta kind, cache
+inlining, destination representation, ...) on *every* execution.  This module
+generates straight-line Python source for each distinct flag combination — a
+"shape" — compiles it once per process, and instantiates per-instruction
+closures from the cached code object.  The generated bodies are the exact
+same operations the generic handlers perform with the branches resolved, so
+observational behaviour (counters, cache state, traps) is identical; the
+golden-metrics suite pins this across all seven memory models.
+
+Shapes are tuples of small ints/strings/bools; the cache is unbounded but in
+practice a workload produces a few dozen shapes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import InterpreterError
+from repro.interp.values import INTERN_MAX, INTERN_MIN, IntVal, Provenance, PtrVal
+
+_ADDRESS_MASK = (1 << 64) - 1
+
+#: little-endian struct codes for exact widths; other sizes use int.from_bytes.
+_STRUCT_CODES = {(1, True): "b", (1, False): "B", (2, True): "h", (2, False): "H",
+                 (4, True): "i", (4, False): "I", (8, True): "q", (8, False): "Q"}
+_UNPACKERS = {key: struct.Struct("<" + code).unpack_from
+              for key, code in _STRUCT_CODES.items()}
+_PACKERS = {key: struct.Struct("<" + code).pack_into
+            for key, code in _STRUCT_CODES.items()}
+
+#: shape -> compiled ``make(b)`` function.
+_MAKERS: dict[tuple, object] = {}
+
+#: names unpacked from the binding dict into ``make`` locals; the handler
+#: closure only captures the ones its generated body actually references.
+_BINDING_NAMES = (
+    "pslot", "pcoerce", "d1", "d2", "dmsg", "base_cost", "check_access",
+    "size", "size_m1", "line_shift", "nsets_mask", "nsets_shift", "assoc",
+    "lat_l1", "lat_l2", "lat_dram", "l1_sets", "l1_stats", "l2_access",
+    "hier", "hierarchy_access", "machine", "page_mask", "page_size",
+    "page_shift", "mem_size", "pages_get", "mem_pages", "read_small",
+    "write_small", "write_ptr_raw", "mem_tags", "shadow_get",
+    "shadow_entries", "shadow_pages", "shadow_page_shift", "ptr_memo",
+    "ptr_memo_get", "load_ptr_no_meta", "allocator", "int_to_ptr",
+    "reconcile", "appliers", "table", "out", "next_pc", "signed",
+    "read_value", "ptr_to_int", "coerce_bytes", "coerce_signed",
+    "size_mask", "comb_mask", "const_raw", "vslot", "vmsg", "pad", "span",
+    "mem_unpack", "mem_pack", "fname",
+)
+
+
+def unpacker_for(size: int, signed: bool):
+    """Prebound struct reader for exact widths (None -> from_bytes path)."""
+    return _UNPACKERS.get((size, signed))
+
+
+def packer_for(size: int):
+    """Prebound struct writer for exact widths (None -> to_bytes path)."""
+    return _PACKERS.get((size, False))
+
+_GLOBALS = {
+    "IntVal": IntVal,
+    "PtrVal": PtrVal,
+    "Provenance": Provenance,
+    "InterpreterError": InterpreterError,
+    "INTERN_MIN": INTERN_MIN,
+    "INTERN_MAX": INTERN_MAX,
+    "M64": _ADDRESS_MASK,
+    "int_from_bytes": int.from_bytes,
+}
+
+
+def _emit_prologue(lines, pslot_inline, dkind, extra):
+    if pslot_inline:
+        lines += [
+            "        pointer = frame[pslot]",
+            "        if type(pointer) is not PtrVal:",
+            "            pointer = pcoerce(pointer)",
+        ]
+    else:
+        lines.append("        pointer = pcoerce(frame)")
+    if dkind == 0:
+        lines.append("        address = pointer.address")
+    elif dkind == 1:
+        lines.append("        address = (pointer.address + d1) & M64")
+    else:
+        lines += [
+            "        idx = frame[d1]",
+            "        if type(idx) is not int:",
+            "            raise InterpreterError(dmsg)",
+            "        address = (pointer.address + idx * d2) & M64",
+        ]
+    if extra:
+        # Fused second instruction: count it (and re-check the budget, like
+        # the dispatch loop would) before any observable effect.  Its base
+        # cycle cost is folded into the pair's costs[] entry, which the loop
+        # charges up front.
+        lines += [
+            "        machine.instructions = icount = machine.instructions + 1",
+            "        if icount > machine.max_instructions:",
+            "            raise InterpreterError(",
+            "                f'instruction budget of {machine.max_instructions} exhausted in {fname}')",
+        ]
+
+
+def _emit_check(lines, check_kind, dkind, is_write):
+    perm = "2" if is_write else "1"
+    flag = "True" if is_write else "False"
+    moved = ("pointer = PtrVal(address, pointer.base, pointer.length, "
+             "pointer.obj, pointer.perms, pointer.tag, pointer.checked)")
+    if check_kind == 1:
+        lines += [
+            "        obj = pointer.obj",
+            f"        if not (pointer.tag and pointer.checked and pointer.perms & {perm}",
+            "                and pointer.base <= address",
+            "                and address + size <= pointer.base + pointer.length",
+            "                and (obj is None or not obj.freed)",
+            "                and not (address == 0 and obj is None)):",
+        ]
+        if dkind:
+            lines.append(f"            {moved}")
+        lines.append(f"            address = check_access(pointer, size, is_write={flag})")
+    elif check_kind == 2:
+        lines.append("        if address < 4096:")
+        if dkind:
+            lines.append(f"            {moved}")
+        lines.append(f"            address = check_access(pointer, size, is_write={flag})")
+    else:
+        if dkind:
+            lines.append(f"        {moved}")
+        lines.append(f"        address = check_access(pointer, size, is_write={flag})")
+
+
+def _emit_timing(lines, collect_timing, inline_cache, is_write):
+    if not collect_timing:
+        return
+    flag = "True" if is_write else "False"
+    counter = "writes" if is_write else "reads"
+    if not inline_cache:
+        lines.append(f"        machine.cycles += hierarchy_access(address, size, is_write={flag})")
+        return
+    lines += [
+        "        line = address >> line_shift",
+        "        if (address + size_m1) >> line_shift == line:",
+        "            cache_set = l1_sets[line & nsets_mask]",
+        "            tag = line >> nsets_shift",
+        f"            l1_stats.{counter} += 1",
+        "            if tag in cache_set:",
+        "                del cache_set[tag]",
+        "                cache_set[tag] = 0",
+        "                l1_stats.hits += 1",
+        "                lat = lat_l1",
+        "            else:",
+        "                l1_stats.misses += 1",
+        "                if len(cache_set) >= assoc:",
+        "                    del cache_set[next(iter(cache_set))]",
+        "                cache_set[tag] = 0",
+        "                lat = lat_l1 + lat_l2",
+        f"                if not l2_access(line << line_shift, is_write={flag}):",
+        "                    hier.dram_accesses += 1",
+        "                    lat += lat_dram",
+        "            hier.stall_cycles += lat",
+        "            machine.cycles += lat",
+        "        else:",
+        f"            machine.cycles += hierarchy_access(address, size, is_write={flag})",
+    ]
+
+
+def load_maker(shape: tuple):
+    """``make(b) -> handler`` for a LOAD of the given shape.
+
+    shape = (kind, pslot_inline, dkind, extra, check_kind, collect_timing,
+             inline_cache, uses_shadow, memo, inline_reconcile, n_appliers)
+    with kind in {"ptr", "psint", "raw", "box"}.
+    """
+    make = _MAKERS.get(shape)
+    if make is not None:
+        return make
+    (kind, pslot_inline, dkind, extra, check_kind, collect_timing,
+     inline_cache, uses_shadow, memo, inline_reconcile, n_appliers,
+     fast_mem) = shape
+    lines = ["    def handler(frame):"]
+    _emit_prologue(lines, pslot_inline, dkind, extra)
+    _emit_check(lines, check_kind, dkind, False)
+    lines.append("        machine.memory_accesses += 1")
+    _emit_timing(lines, collect_timing, inline_cache, False)
+    # memory read: pointer-like loads read the 8-byte raw address word but
+    # size/bounds reflect the model's pointer width.
+    is_ptr_like = kind in ("ptr", "psint")
+    if fast_mem:
+        fast_read = "mem_unpack(page, offset)[0]"
+    elif is_ptr_like:
+        fast_read = "int_from_bytes(page[offset:offset + 8], 'little')"
+    else:
+        fast_read = "int_from_bytes(page[offset:offset + size], 'little', signed=signed)"
+    slow_read = ("read_small(address, 8, False)" if is_ptr_like
+                 else "read_small(address, size, signed)")
+    lines += [
+        "        offset = address & page_mask",
+        "        if offset + size <= page_size and 0 <= address and address + size <= mem_size:",
+        "            page = pages_get(address >> page_shift)",
+        f"            raw = 0 if page is None else {fast_read}",
+        "        else:",
+        f"            raw = {slow_read}",
+    ]
+    if kind == "raw":
+        lines.append("        frame[out] = raw")
+    elif kind == "box":
+        lines += [
+            "        if INTERN_MIN <= raw <= INTERN_MAX:",
+            "            frame[out] = table[raw - INTERN_MIN]",
+            "        else:",
+            "            frame[out] = IntVal(raw, bytes=size, signed=signed)",
+        ]
+    else:
+        if uses_shadow:
+            lines.append("        entry = shadow_get(address)")
+        else:
+            lines.append("        entry = None")
+        if kind == "ptr":
+            reconstruct = []
+            if memo:
+                reconstruct += [
+                    "loaded = ptr_memo_get(raw)",
+                    "if loaded is None:",
+                    "    loaded = ptr_memo[raw] = load_ptr_no_meta(raw, allocator)",
+                ]
+            else:
+                reconstruct.append("loaded = load_ptr_no_meta(raw, allocator)")
+            if inline_reconcile:
+                lines.append("        if type(entry) is PtrVal and raw == entry.address:")
+                lines.append("            loaded = entry")
+                lines.append("        elif entry is None or type(entry) is PtrVal:")
+                lines += ["            " + text for text in reconstruct]
+            else:
+                lines.append("        if entry is None:")
+                lines += ["            " + text for text in reconstruct]
+                lines.append("        elif type(entry) is PtrVal:")
+                lines.append("            loaded = reconcile(raw, entry, allocator)")
+            lines += [
+                "        elif type(entry) is IntVal:",
+                "            loaded = int_to_ptr(entry.with_value(raw, provenance=entry.provenance), allocator)",
+                "        else:",
+                "            raise InterpreterError(f'corrupt shadow entry {entry!r}')",
+            ]
+            if n_appliers:
+                lines += [
+                    "        for apply in appliers:",
+                    "            loaded = apply(loaded)",
+                ]
+            lines.append("        frame[out] = loaded")
+        else:  # psint
+            lines += [
+                "        if type(entry) is IntVal and entry.unsigned == raw:",
+                "            frame[out] = IntVal(raw, bytes=8, signed=signed, provenance=entry.provenance, pointer_sized=True)",
+                "        elif type(entry) is PtrVal and entry.address == raw:",
+                "            frame[out] = IntVal(raw, bytes=8, signed=signed, provenance=Provenance(entry), pointer_sized=True)",
+                "        else:",
+                "            frame[out] = IntVal(raw, bytes=8, signed=signed, pointer_sized=True)",
+            ]
+    lines.append("        return next_pc")
+    lines.append("    return handler")
+    return _compile(shape, lines)
+
+
+def store_maker(shape: tuple):
+    """``make(b) -> handler`` for a STORE of the given shape.
+
+    shape = (kind, pslot_inline, dkind, extra, check_kind, collect_timing,
+             inline_cache, clear_shadow, uses_shadow, value_mode, coerce,
+             wide_span)
+    with kind in {"ptr", "scalar"}; value_mode in (0 const, 1 raw slot,
+    2 boxed reader) for scalar stores (ptr stores always use the reader).
+    """
+    make = _MAKERS.get(shape)
+    if make is not None:
+        return make
+    (kind, pslot_inline, dkind, extra, check_kind, collect_timing,
+     inline_cache, clear_shadow, uses_shadow, value_mode, coerce,
+     wide_span, fast_mem) = shape
+    lines = ["    def handler(frame):"]
+    _emit_prologue(lines, pslot_inline, dkind, extra)
+    if kind == "ptr":
+        lines.append("        value = read_value(frame)")
+        if coerce:  # PointerType store: integers coerce through the model
+            lines += [
+                "        if type(value) is IntVal:",
+                "            value = int_to_ptr(value, allocator)",
+            ]
+    elif value_mode == 1:
+        lines += [
+            "        value = frame[vslot]",
+            "        if type(value) is not int:",
+            "            raise InterpreterError(vmsg)",
+            "        raw = value & comb_mask",
+        ]
+    elif value_mode == 2:
+        lines.append("        value = read_value(frame)")
+        if coerce:
+            lines += [
+                "        if type(value) is PtrVal:",
+                "            value = ptr_to_int(value, bytes=coerce_bytes, signed=coerce_signed, pointer_sized=False)",
+            ]
+        lines.append("        raw = (value.unsigned if type(value) is IntVal else int(value)) & size_mask")
+    else:
+        lines.append("        raw = const_raw")
+    _emit_check(lines, check_kind, dkind, True)
+    lines.append("        machine.memory_accesses += 1")
+    _emit_timing(lines, collect_timing, inline_cache, True)
+    if kind == "ptr":
+        lines.append("        raw = (value.address if type(value) is PtrVal else value.unsigned) & M64")
+    if clear_shadow:
+        lines += [
+            "        if shadow_entries:",
+            "            for key in range(address - address % 8, address + size, 8):",
+            "                if key in shadow_entries:",
+            "                    del shadow_entries[key]",
+            "                    shadow_pages[key >> shadow_page_shift].discard(key)",
+        ]
+    if kind == "ptr":
+        lines += [
+            "        offset = address & page_mask",
+            "        if not mem_tags and offset + span <= page_size and 0 <= address and address + span <= mem_size:",
+            "            page = pages_get(address >> page_shift)",
+            "            if page is None:",
+            "                page = mem_pages[address >> page_shift] = bytearray(page_size)",
+            "            mem_pack(page, offset, raw)" if fast_mem
+            else "            page[offset:offset + 8] = raw.to_bytes(8, 'little')",
+        ]
+        if wide_span:
+            lines.append("            page[offset + 8:offset + span] = pad")
+        lines += [
+            "        else:",
+            "            write_ptr_raw(address, raw, size)",
+        ]
+        if uses_shadow:
+            lines += [
+                "        shadow_entries[address] = value",
+                "        page_index = address >> shadow_page_shift",
+                "        bucket = shadow_pages.get(page_index)",
+                "        if bucket is None:",
+                "            shadow_pages[page_index] = {address}",
+                "        else:",
+                "            bucket.add(address)",
+            ]
+    else:
+        lines += [
+            "        offset = address & page_mask",
+            "        if not mem_tags and offset + size <= page_size and 0 <= address and address + size <= mem_size:",
+            "            page = pages_get(address >> page_shift)",
+            "            if page is None:",
+            "                page = mem_pages[address >> page_shift] = bytearray(page_size)",
+            "            mem_pack(page, offset, raw)" if fast_mem
+            else "            page[offset:offset + size] = raw.to_bytes(size, 'little')",
+            "        else:",
+            "            write_small(address, size, raw)",
+        ]
+    lines.append("        return next_pc")
+    lines.append("    return handler")
+    return _compile(shape, lines)
+
+
+def _compile(shape: tuple, body_lines: list) -> object:
+    import re
+
+    body = "\n".join(body_lines[1:-1])  # drop "def handler" / "return handler"
+    # Bind every name the body references as a keyword default, so the
+    # handler reads them with LOAD_FAST instead of closure-cell lookups.
+    used = [name for name in _BINDING_NAMES
+            if re.search(rf"\b{name}\b", body)]
+    signature = "    def handler(frame, " + ", ".join(
+        f"{name}=b[{name!r}]" for name in used) + "):"
+    source = "def make(b):\n" + signature + "\n" + body + "\n    return handler\n"
+    namespace = dict(_GLOBALS)
+    exec(compile(source, f"<hotgen {shape}>", "exec"), namespace)
+    make = namespace["make"]
+    _MAKERS[shape] = make
+    return make

@@ -200,19 +200,20 @@ def _format(machine, template: bytes, args: list) -> bytes:
     out = bytearray()
     arg_index = 0
     i = 0
-    while i < len(template):
-        ch = template[i : i + 1]
-        if ch != b"%":
-            out += ch
-            i += 1
-            continue
+    length = len(template)
+    while i < length:
+        # bulk-copy the literal run up to the next conversion
+        percent = template.find(b"%", i)
+        if percent < 0:
+            out += template[i:]
+            break
+        out += template[i:percent]
         # scan the conversion specification (flags/width/length are accepted
         # and mostly ignored; mini-C output is for checking, not typesetting)
-        j = i + 1
-        spec = b""
-        while j < len(template) and template[j : j + 1] in b"-+ 0123456789.lzh":
-            spec += template[j : j + 1]
+        j = percent + 1
+        while j < length and template[j] in b"-+ 0123456789.lzh":
             j += 1
+        spec = template[percent + 1 : j]
         conv = template[j : j + 1]
         i = j + 1
         if conv == b"%":

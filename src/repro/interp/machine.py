@@ -40,7 +40,9 @@ from repro.interp.heap import ObjectAllocator
 from repro.interp.intrinsics import ExitProgram
 from repro.interp.models import get_model
 from repro.interp.models.base import MemoryModel
+from repro.interp.models.pdp11 import Pdp11Model
 from repro.interp.predecode import CompiledFunction, compile_function
+from repro.interp.shadow import ShadowTable
 from repro.interp.values import IntVal, Provenance, PtrVal
 from repro.minic.ir import Function, Module
 from repro.minic.typesys import CType, IntType, PointerType, Qualifiers
@@ -87,6 +89,12 @@ class ExecutionResult:
 class AbstractMachine:
     """Executes IR modules under a pluggable memory model."""
 
+    __slots__ = ("module", "model", "config", "ctx", "memory", "allocator",
+                 "hierarchy", "shadow", "globals", "output", "checkpoints",
+                 "rng", "instructions", "cycles", "memory_accesses",
+                 "max_instructions", "collect_timing", "_call_depth",
+                 "_code_cache", "_ptr_load_memo", "_clear_shadow")
+
     def __init__(
         self,
         module: Module,
@@ -111,7 +119,7 @@ class AbstractMachine:
         self.memory = TaggedMemory(_ADDRESS_SPACE)
         self.allocator = ObjectAllocator()
         self.hierarchy = MemoryHierarchy(self.config.timing)
-        self.shadow: dict[int, object] = {}
+        self.shadow = ShadowTable()
         self.globals: dict[str, PtrVal] = {}
         self.output = bytearray()
         self.checkpoints: list[int] = []
@@ -124,10 +132,10 @@ class AbstractMachine:
         self._call_depth = 0
         #: predecoded per-function code, keyed by the function's identity.
         self._code_cache: dict[int, CompiledFunction] = {}
+        #: raw address -> PtrVal for models whose metadata-free pointer load
+        #: is a pure function of the address (see predecode._PURE_PTR_LOADERS).
+        self._ptr_load_memo: dict[int, PtrVal] = {}
         self._clear_shadow = self.model.uses_shadow and self.model.clear_shadow_on_data_store
-        #: set by pointer stores to non-8-aligned addresses; copy_memory's
-        #: aligned-slot fast path is only sound while this stays False.
-        self._shadow_unaligned = False
         self._setup_globals()
 
     # ------------------------------------------------------------------
@@ -183,12 +191,72 @@ class AbstractMachine:
         self.memory.write_bytes(address, data)
 
     def read_cstring(self, pointer: PtrVal, *, limit: int = 1 << 20) -> bytes:
-        """Read a NUL-terminated string one byte at a time (bounds-checked).
+        """Read a NUL-terminated string (bounds-checked, page-batched).
 
-        Every byte is individually checked and fed through the cache model —
-        that per-byte accounting is part of the simulated cost of C string
-        functions, so only the Python-level overhead is optimized here.
+        Semantically every byte is individually checked and fed through the
+        cache model — that per-byte accounting is part of the simulated cost
+        of C string functions.  The fast path below batches the Python-level
+        work: it derives how many bytes the per-byte check is guaranteed to
+        admit, scans whole pages for the terminator, and charges the accesses
+        through :meth:`MemoryHierarchy.access_run` (identical counters).  Any
+        input the batch cannot prove safe — unknown check policies, bounds
+        running out, address-space edges — falls back to the original
+        byte-at-a-time loop, so traps are bit-identical.
         """
+        model = self.model
+        model_check = type(model).check_access
+        if model_check is MemoryModel.check_access:
+            # First byte through the real check: identical trap for null /
+            # untagged / permission / freed / out-of-bounds starts.
+            address = model.check_access(pointer, 1, is_write=False)
+            if pointer.checked:
+                admitted = pointer.base + pointer.length - address
+            else:
+                admitted = limit
+        elif model_check is Pdp11Model.check_access:
+            address = model.check_access(pointer, 1, is_write=False)
+            admitted = limit
+        else:
+            return self._read_cstring_bytewise(pointer, limit)
+        admitted = min(admitted, limit, self.memory.size - address)
+
+        memory = self.memory
+        pages = memory._pages
+        page_size = memory.PAGE_SIZE
+        out = bytearray()
+        scanned = 0
+        found = -1
+        while scanned < admitted:
+            cursor = address + scanned
+            page_index, offset = divmod(cursor, page_size)
+            chunk = min(admitted - scanned, page_size - offset)
+            page = pages.get(page_index)
+            if page is None:
+                found = scanned  # untouched pages read as zero: NUL here
+                break
+            nul = page.find(0, offset, offset + chunk)
+            if nul >= 0:
+                out += page[offset:nul]
+                found = scanned + (nul - offset)
+                break
+            out += page[offset:offset + chunk]
+            scanned += chunk
+        consumed = found + 1 if found >= 0 else scanned
+        self.memory_accesses += consumed
+        if self.collect_timing and consumed:
+            self.cycles += self.hierarchy.access_run(address, consumed)
+        if found >= 0:
+            return bytes(out)
+        if consumed >= limit:
+            raise InterpreterError("unterminated string (exceeded 1 MiB)")
+        # The admitted range ran out without a terminator: replay from the
+        # exact failing byte through the byte-wise loop so the trap (or any
+        # address-space edge) is reproduced identically.
+        cursor = model.ptr_offset(pointer, consumed)
+        return bytes(out) + self._read_cstring_bytewise(cursor, limit - consumed)
+
+    def _read_cstring_bytewise(self, pointer: PtrVal, limit: int) -> bytes:
+        """The original per-byte loop (slow path and trap replay)."""
         out = bytearray()
         append = out.append
         cursor = pointer
@@ -220,44 +288,23 @@ class AbstractMachine:
         data = self.memory.read_bytes(src_address, length)
         self._clear_shadow_range(dst_address, length)
         self.memory.write_bytes(dst_address, data)
-        if self.model.uses_shadow and self.shadow:
+        if self.model.uses_shadow and self.shadow.entries:
+            # The page index makes both sides O(entries in range) regardless
+            # of entry alignment — no aligned-slot assumption, no fall-back
+            # full-table scan.
             shadow = self.shadow
             delta = dst_address - src_address
-            if self._shadow_unaligned:
-                # Rare: some pointer was stored at a non-8-aligned address, so
-                # the aligned-slot walk below could miss entries — scan the
-                # table (the seed interpreter's behaviour).
-                moved = {
-                    key + delta: value
-                    for key, value in shadow.items()
-                    if src_address <= key < src_address + length
-                }
-                stale = [key for key in shadow
-                         if dst_address <= key < dst_address + length and key not in moved]
-            else:
-                # Walk the 8-aligned slots of the copied range directly
-                # instead of scanning the whole shadow table (which is
-                # O(total entries) per memcpy).
-                shadow_get = shadow.get
-                moved = {}
-                for key in range(src_address + (-src_address % 8), src_address + length, 8):
-                    value = shadow_get(key)
-                    if value is not None:
-                        moved[key + delta] = value
-                stale = [key
-                         for key in range(dst_address + (-dst_address % 8), dst_address + length, 8)
-                         if key not in moved and key in shadow]
-                if moved and delta & 7:
-                    # The moved entries land on non-8-aligned destination
-                    # slots: later copies must use the exhaustive scan.
-                    self._shadow_unaligned = True
+            moved = shadow.entries_in_range(src_address, src_address + length)
+            moved_keys = {key + delta for key, _ in moved}
             # Destination slots the copy overwrote but the move does not
             # repopulate would otherwise keep stale metadata (the look-aside
             # models do not clear shadow entries on data stores).  Deliberate
             # tightening over the seed interpreter, which left them behind.
-            for key in stale:
-                del shadow[key]
-            shadow.update(moved)
+            for key in shadow.addresses_in_range(dst_address, dst_address + length):
+                if key not in moved_keys:
+                    del shadow[key]
+            for key, value in moved:
+                shadow.set(key + delta, value)
 
     # ------------------------------------------------------------------
     # Memory primitives
@@ -269,13 +316,23 @@ class AbstractMachine:
             self.cycles += self.hierarchy.access(address, size, is_write=is_write)
 
     def _clear_shadow_range(self, address: int, size: int) -> None:
-        if not self._clear_shadow or not self.shadow:
+        if not self._clear_shadow or not self.shadow.entries:
             return
-        # Step directly over the 8-aligned slots that overlap the write
-        # (O(size/8)) instead of filtering a byte-granular range (O(size)).
+        # Tagged-memory semantics: a data store invalidates the metadata of
+        # every 8-aligned pointer slot it overlaps (entries at unaligned
+        # addresses — moved there by memcpy — are reconciled at load time
+        # instead).  Small writes probe the few candidate slots directly;
+        # large ones (memset) use the page index, O(entries in range).
         shadow = self.shadow
-        for key in range(address - address % 8, address + size, 8):
-            if key in shadow:
+        start = address - address % 8
+        if size <= 256:
+            entries = shadow.entries
+            for key in range(start, address + size, 8):
+                if key in entries:
+                    del shadow[key]
+            return
+        for key in shadow.addresses_in_range(start, address + size):
+            if not key & 7:
                 del shadow[key]
 
     def _store_scalar(self, pointer: PtrVal, value, ctype: CType) -> None:
@@ -288,9 +345,7 @@ class AbstractMachine:
             self._clear_shadow_range(address, width)
             self.memory.write_bytes(address, raw.to_bytes(8, "little", signed=False) + b"\x00" * (width - 8))
             if self.model.uses_shadow:
-                if address & 7:
-                    self._shadow_unaligned = True
-                self.shadow[address] = value
+                self.shadow.set(address, value)
             return
         size = max(ctype.size(self.ctx), 1)
         address = self.model.check_access(pointer, size, is_write=True)
@@ -394,18 +449,27 @@ class AbstractMachine:
     # Call frames
     # ------------------------------------------------------------------
 
-    def _call(self, function: Function, args: list):
+    def _code_for(self, function: Function) -> CompiledFunction:
+        """The predecoded form of ``function``, compiling on first use."""
+        code = self._code_cache.get(id(function))
+        if code is None or code.function is not function:
+            code = compile_function(self, function)
+            self._code_cache[id(function)] = code
+        return code
+
+    def _call(self, function: Function, args: list, code: CompiledFunction | None = None):
         if self._call_depth > 400:
             raise InterpreterError(f"call depth limit exceeded calling {function.name}")
         self._call_depth += 1
         self.allocator.push_frame()
         try:
-            return self._execute(function, args)
+            return self._execute(function, args, code)
         finally:
             self.allocator.pop_frame()
             self._call_depth -= 1
 
-    def _execute(self, function: Function, args: list):
+    def _execute(self, function: Function, args: list,
+                 code: CompiledFunction | None = None):
         """Run one predecoded function body to completion (threaded dispatch).
 
         The per-instruction work lives in the compiled handlers
@@ -413,16 +477,13 @@ class AbstractMachine:
         instruction/cycle counters and threads the program counter that each
         handler returns.
         """
-        code = self._code_cache.get(id(function))
-        if code is None or code.function is not function:
-            code = compile_function(self, function)
-            self._code_cache[id(function)] = code
+        if code is None:
+            code = self._code_for(function)
         frame = code.frame_proto.copy()
         frame[0] = args
         if code.nallocas:
             frame[1] = [None] * code.nallocas
-        handlers = code.handlers
-        costs = code.costs
+        paired = code.paired
         size = code.size
         max_instructions = self.max_instructions
         pc = 0
@@ -432,6 +493,7 @@ class AbstractMachine:
                 raise InterpreterError(
                     f"instruction budget of {self.max_instructions} exhausted in {function.name}"
                 )
-            self.cycles += costs[pc]
-            pc = handlers[pc](frame)
+            handler, cost = paired[pc]
+            self.cycles += cost
+            pc = handler(frame)
         return frame[2]

@@ -1,4 +1,4 @@
-"""Predecoded threaded-dispatch engine for the abstract machine.
+"""Predecoded threaded-dispatch engine with unboxed scalar registers.
 
 The original interpreter walked every :class:`~repro.minic.ir.Instr` through a
 chain of ``if op is Opcode.X`` tests, re-resolving ``attrs`` dict entries,
@@ -11,11 +11,41 @@ function **once per machine** into a flat list of per-instruction closures
 * ``attrs`` lookups (operators, offsets, element sizes, callees) are hoisted
   into closure variables;
 * operands are pre-classified — a :class:`Temp` becomes a register-slot read,
-  an integer :class:`Const` becomes a hoisted immutable :class:`IntVal`, a
+  an integer :class:`Const` becomes a hoisted immutable value, a
   :class:`GlobalRef` becomes a name lookup (kept at run time because the GC
   may rewrite globals between runs);
 * per-instruction cycle costs are precomputed into a parallel ``costs`` list;
 * temporaries live in a flat preallocated register list instead of a dict.
+
+**Unboxed registers.**  A compile-time fixpoint analysis
+(:func:`_analyze_slots`) identifies register slots that can only ever hold
+*provenance-free scalar integers* of one static ``(width, signedness)``.
+Those slots carry raw Python ints instead of :class:`IntVal` boxes: loads,
+arithmetic, comparisons and casts between them never allocate — width
+wrapping happens inline with the precomputed mask tables from
+:mod:`repro.interp.values`.  Values are boxed (through the shared intern
+pool) only at ABI boundaries: call arguments, return values, pointer
+conversions, and any slot the analysis cannot prove scalar.  Provenance
+semantics are untouchable by construction — any value that *could* carry
+provenance (pointer-sized integers, ``ptrtoint`` results, call results,
+anything a model hook might inspect) stays boxed.
+
+**Pair fusion.**  When an address-producing instruction (``field``, ``gep``,
+``ptradd``) or a comparison feeds exactly one consumer and that consumer is
+the next instruction (``load``/``store``/``cjump``), the pair compiles into a
+single handler: the intermediate ``PtrVal``/``IntVal`` is never materialised
+and a full dispatch round-trip disappears.  The fused handler still charges
+both instructions' counts and cycles at the same points the unfused pair
+would (the consumer's instruction/cost before its first observable effect),
+so metrics and trap states are bit-identical.  Fusion only engages for
+models with the default pointer-move policy; everything else takes the
+unfused handlers.
+
+The hot load/store handlers also inline the L1-hit path of the cache model
+and the single-page fast path of :class:`~repro.sim.memory.TaggedMemory`
+(same counters, same LRU updates, same fall-backs — the slow paths call the
+originals), and reconstruction of metadata-free pointer loads is memoised for
+models where it is a pure function of the raw address.
 
 The engine is **observationally identical** to the old dispatch chain: the
 same instruction/cycle/memory-access counts, the same outputs and the same
@@ -30,8 +60,22 @@ from __future__ import annotations
 from repro.common.errors import InterpreterError, UndefinedBehaviorError
 from repro.interp.intrinsics import INTRINSICS
 from repro.interp.models.base import MemoryModel
+from repro.interp.models.mpx import MpxModel
 from repro.interp.models.pdp11 import Pdp11Model
-from repro.interp.values import IntVal, Provenance, PtrVal
+from repro.interp.hotgen import load_maker, packer_for, store_maker, unpacker_for
+from repro.interp.shadow import PAGE_SHIFT
+from repro.interp.values import (
+    INTERN_MAX,
+    INTERN_MIN,
+    MASKS,
+    MODULI,
+    PERM_ALL,
+    SIGN_MIN,
+    IntVal,
+    Provenance,
+    PtrVal,
+    intern_table,
+)
 from repro.minic.ir import Const, Function, GlobalRef, Opcode, Temp
 from repro.minic.typesys import IntType, PointerType, Qualifiers
 
@@ -45,26 +89,9 @@ _FRAME_RESERVED = 3
 
 _ADDRESS_MASK = (1 << 64) - 1
 
-#: interned comparison results (IntVal is frozen, so sharing is safe).
+#: interned comparison results for boxed destinations.
 _TRUE = IntVal(1, bytes=4)
 _FALSE = IntVal(0, bytes=4)
-
-#: interned small integers per (width, signed); loads and integer arithmetic
-#: produce values in [0, 256] constantly (loop counters, characters, flags).
-_SMALL_MAX = 256
-_small_tables: dict[tuple[int, bool], tuple] = {}
-
-
-def _small_ints(width: int, signed: bool):
-    """Shared IntVal instances for 0..256, or None when the width can't hold them."""
-    if width < 2:
-        return None
-    key = (width, signed)
-    table = _small_tables.get(key)
-    if table is None:
-        table = tuple(IntVal(v, bytes=width, signed=signed) for v in range(_SMALL_MAX + 1))
-        _small_tables[key] = table
-    return table
 
 _INT_BINOPS = {
     "+": lambda a, b: a + b,
@@ -86,23 +113,135 @@ _CMP_FUNCS = {
     ">=": lambda a, b: a >= b,
 }
 
+#: models whose load_pointer_without_metadata is a pure function of the raw
+#: address (no allocator lookup), so the resulting PtrVal can be memoised.
+_PURE_PTR_LOADERS = (
+    MemoryModel.load_pointer_without_metadata,
+    Pdp11Model.load_pointer_without_metadata,
+    MpxModel.load_pointer_without_metadata,
+)
+
 
 class CompiledFunction:
     """The predecoded form of one IR function, bound to one machine."""
 
-    __slots__ = ("function", "handlers", "costs", "size", "nregs", "nallocas",
+    __slots__ = ("function", "paired", "size", "nregs", "nallocas",
                  "frame_proto")
 
     def __init__(self, function: Function, handlers: list, costs: list,
                  nregs: int, nallocas: int) -> None:
         self.function = function
-        self.handlers = handlers
-        self.costs = costs
-        self.size = len(handlers)
+        #: (handler, cost) pairs: one dispatch-loop index instead of two.
+        self.paired = list(zip(handlers, costs))
+        self.size = len(self.paired)
         self.nregs = nregs
         self.nallocas = nallocas
         #: template frame: bookkeeping slots + registers, copied per call.
         self.frame_proto = [None, None, None] + [UNDEF] * nregs
+
+
+# ---------------------------------------------------------------------------
+# Register-slot type analysis
+# ---------------------------------------------------------------------------
+
+
+def _scalar_int_type(ctype, ctx) -> tuple[int, bool] | None:
+    """(width, signed) when ``ctype`` is a plain scalar integer type."""
+    if isinstance(ctype, IntType) and not ctype.is_pointer_sized:
+        width = ctype.size(ctx)
+        if 1 <= width <= 8:
+            return (width, getattr(ctype, "signed", True))
+    return None
+
+
+def _analyze_slots(machine, function: Function) -> dict[int, tuple[int, bool]]:
+    """Map temp index -> (width, signed) for slots that can go unboxed.
+
+    A slot qualifies when **every** instruction writing it produces a
+    provenance-free scalar integer of the same static type.  The analysis is
+    optimistic (loops like ``i = i + 1`` stay unboxed) and demotes to "boxed"
+    on any conflict; it converges because demotion is monotone.
+    """
+    ctx = machine.ctx
+    # A model that overrides the provenance hook must see every operand, so
+    # arithmetic results cannot be proven provenance-free at compile time.
+    fast_noprov = (type(machine.model).propagate_provenance
+                   is MemoryModel.propagate_provenance)
+
+    def const_type(operand: Const) -> tuple[int, bool] | None:
+        ctype = operand.ctype
+        if isinstance(ctype, PointerType):
+            return None
+        if isinstance(ctype, IntType):
+            if ctype.is_pointer_sized:
+                return None
+            return (min(ctype.size(ctx), 8), getattr(ctype, "signed", True))
+        return (8, True)
+
+    def raw_safe(operand, prev) -> bool:
+        kind = type(operand)
+        if kind is Temp:
+            # Missing from ``prev`` means "not yet demoted" (optimistic) or
+            # "never written" (reading it raises either way).
+            return prev.get(operand.index, True) is not None
+        if kind is Const:
+            return const_type(operand) is not None
+        return False
+
+    def writer_type(instr, prev) -> tuple[int, bool] | None:
+        op = instr.op
+        if op is Opcode.LOAD:
+            return _scalar_int_type(instr.ctype, ctx)
+        if op is Opcode.CMP:
+            return (4, True)
+        if op is Opcode.PTRDIFF:
+            return (8, True)
+        if op is Opcode.BINOP:
+            target = _scalar_int_type(instr.ctype, ctx)
+            if (target is None or not fast_noprov
+                    or not all(raw_safe(a, prev) for a in instr.args)):
+                return None
+            return target
+        if op is Opcode.UNOP:
+            source = instr.args[0]
+            if type(source) is Temp:
+                t = prev.get(source.index)
+                return t if isinstance(t, tuple) else None
+            if type(source) is Const:
+                return const_type(source)
+            return None
+        if op is Opcode.INTCAST:
+            target = instr.ctype
+            if not isinstance(target, IntType) or target.is_pointer_sized:
+                return None
+            if not raw_safe(instr.args[0], prev):
+                return None
+            return (min(target.size(ctx), 8), getattr(target, "signed", True))
+        if op is Opcode.BITCAST:
+            source = instr.args[0]
+            if type(source) is Temp:
+                t = prev.get(source.index)
+                return t if isinstance(t, tuple) else None
+            if type(source) is Const:
+                return const_type(source)
+            return None
+        return None
+
+    instrs = [instr for instr in function.instrs if instr.dest is not None]
+    prev: dict[int, tuple[int, bool] | None] = {}
+    for _ in range(len(instrs) + 1):
+        cur: dict[int, tuple[int, bool] | None] = {}
+        for instr in instrs:
+            t = writer_type(instr, prev)
+            index = instr.dest.index
+            if index in cur and cur[index] != t:
+                cur[index] = None
+            else:
+                cur[index] = t
+        if cur == prev:
+            break
+        prev = cur
+    return {index: t for index, t in prev.items() if t is not None}
 
 
 # ---------------------------------------------------------------------------
@@ -123,12 +262,54 @@ def _const_value(machine, operand: Const):
     return IntVal(operand.value, bytes=min(size, 8), signed=signed, pointer_sized=pointer_sized)
 
 
-def _reader(machine, operand):
-    """Compile an operand into a ``frame -> value`` accessor."""
+def _raw_operand(machine, operand, slot_types):
+    """Compile-time description of an operand usable as a raw int.
+
+    Returns ``("slot", frame_index, (W, S), label)`` for an unboxed register,
+    ``("const", raw_value, (W, S), None)`` for an integer constant, or None
+    when the operand must be read boxed.
+    """
+    kind = type(operand)
+    if kind is Temp:
+        t = slot_types.get(operand.index)
+        if t is None:
+            return None
+        return ("slot", operand.index + _FRAME_RESERVED, t, str(operand))
+    if kind is Const:
+        if isinstance(operand.ctype, PointerType):
+            return None
+        hoisted = _const_value(machine, operand)
+        if hoisted is None or hoisted.pointer_sized:
+            return None
+        return ("const", hoisted.value, (hoisted.bytes, hoisted.signed), None)
+    return None
+
+
+def _reader(machine, operand, slot_types):
+    """Compile an operand into a ``frame -> boxed value`` accessor.
+
+    Unboxed slots are boxed on read (through the intern pool) — this is the
+    raw-to-ABI boundary for contexts that need a real :class:`IntVal`.
+    """
     kind = type(operand)
     if kind is Temp:
         slot = operand.index + _FRAME_RESERVED
         label = str(operand)
+        t = slot_types.get(operand.index)
+        if t is not None:
+            width, signed = t
+            table = intern_table(width, signed)
+
+            def read_temp_raw(frame, slot=slot, width=width, signed=signed,
+                              table=table, label=label):
+                value = frame[slot]
+                if type(value) is int:
+                    if INTERN_MIN <= value <= INTERN_MAX:
+                        return table[value - INTERN_MIN]
+                    return IntVal(value, width, signed)
+                raise InterpreterError(f"use of undefined temporary {label}")
+
+            return read_temp_raw
 
         def read_temp(frame):
             value = frame[slot]
@@ -159,12 +340,12 @@ def _reader(machine, operand):
     raise InterpreterError(f"cannot evaluate operand {operand!r}")
 
 
-def _ptr_reader(machine, operand):
+def _ptr_reader(machine, operand, slot_types):
     """An operand accessor that coerces integers to pointers (``_pointer_operand``)."""
     int_to_ptr = machine.model.int_to_ptr
     allocator = machine.allocator
 
-    if type(operand) is Temp:
+    if type(operand) is Temp and operand.index not in slot_types:
         # Fused register read + pointer coercion (one call instead of two).
         slot = operand.index + _FRAME_RESERVED
         label = str(operand)
@@ -182,7 +363,7 @@ def _ptr_reader(machine, operand):
 
         return read_ptr
 
-    read = _reader(machine, operand)
+    read = _reader(machine, operand, slot_types)
 
     def read_ptr(frame):
         value = read(frame)
@@ -211,9 +392,8 @@ def _is_pointer_sized_int(ctype) -> bool:
     return isinstance(ctype, IntType) and ctype.is_pointer_sized
 
 
-# ---------------------------------------------------------------------------
-# Function compilation
-# ---------------------------------------------------------------------------
+#: delta descriptor for unfused memory ops: address = pointer.address.
+_NO_DELTA = (0, 0, 0, None)
 
 
 def compile_function(machine, function: Function) -> CompiledFunction:
@@ -225,6 +405,9 @@ def compile_function(machine, function: Function) -> CompiledFunction:
     branch_cost = timing.branch_cost
     call_cost = timing.call_cost
     stop = len(instrs)
+
+    #: temp index -> (width, signed) for slots that carry raw Python ints.
+    slot_types = _analyze_slots(machine, function)
 
     # Pass 1: register file size and alloca slot count.
     max_temp = -1
@@ -248,7 +431,9 @@ def compile_function(machine, function: Function) -> CompiledFunction:
     hierarchy_access = machine.hierarchy.access
     collect_timing = machine.collect_timing
     shadow = machine.shadow
-    shadow_get = shadow.get
+    shadow_entries = shadow.entries
+    shadow_pages = shadow.pages
+    shadow_get = shadow_entries.get
     uses_shadow = model.uses_shadow
     clear_shadow = uses_shadow and model.clear_shadow_on_data_store
     check_access = model.check_access
@@ -256,13 +441,45 @@ def compile_function(machine, function: Function) -> CompiledFunction:
     ptr_to_int = model.ptr_to_int
     ptr_offset = model.ptr_offset
     pointer_bytes = model.pointer_bytes
-    read_u64 = memory.read_u64
     read_small = memory.read_small
     write_small = memory.write_small
     write_ptr_raw = memory.write_ptr_raw
     load_ptr_no_meta = model.load_pointer_without_metadata
     reconcile = model.reconcile_loaded_pointer
     propagate_provenance = model.propagate_provenance
+    M64 = _ADDRESS_MASK
+
+    # Inline fast path over TaggedMemory's page store (single-page accesses;
+    # everything else falls back to the metered methods above).
+    mem_pages = memory._pages
+    pages_get = mem_pages.get
+    mem_tags = memory._tags
+    mem_size = memory._size
+    page_size = memory.PAGE_SIZE
+    page_mask = memory._PAGE_MASK
+    page_shift = memory._PAGE_SHIFT
+
+    # Inline fast path for the cache model's single-line L1 hit.  The captured
+    # set list / stats object stay valid because CacheLevel.reset() mutates in
+    # place.  Timestamps stored in the per-set dicts are never read (LRU order
+    # is dict order), so the inline path stores 0 instead of a clock.
+    hier = machine.hierarchy
+    l1 = hier.l1
+    l1_sets = l1._sets
+    l1_stats = l1.stats
+    l2_access = hier.l2.access
+    line_bytes = l1._line_bytes
+    num_sets = l1._num_sets
+    assoc = l1._associativity
+    lat_l1 = hier._l1_hit_latency
+    lat_l2 = hier._l2_hit_latency
+    lat_dram = hier._dram_latency
+    inline_cache = (line_bytes & (line_bytes - 1) == 0
+                    and num_sets & (num_sets - 1) == 0)
+    line_shift = line_bytes.bit_length() - 1
+    nsets_mask = num_sets - 1
+    nsets_shift = num_sets.bit_length() - 1
+
     # When the model keeps the default pointer-arithmetic policy (cursor moves
     # freely, bounds unchanged), pointer moves can be constructed inline
     # instead of dispatching through model.ptr_offset -> PtrVal.moved_by.
@@ -270,6 +487,12 @@ def compile_function(machine, function: Function) -> CompiledFunction:
     inline_field = (inline_moves
                     and type(model).field_address is MemoryModel.field_address
                     and not model.narrow_field_bounds)
+    inline_ptrcmp = type(model).ptr_compare is MemoryModel.ptr_compare
+    # The base reconciliation policy (trust the shadow entry when the raw
+    # address still matches, else reconstruct without metadata) is inlined;
+    # models that override it keep the call.
+    inline_reconcile = (type(model).reconcile_loaded_pointer
+                        is MemoryModel.reconcile_loaded_pointer)
     # Dereference checks are inlined for the two known check policies; the
     # inline fast path only covers accesses the full check would *pass* (and
     # returns the same effective address) — anything unusual falls back to the
@@ -282,6 +505,326 @@ def compile_function(machine, function: Function) -> CompiledFunction:
     else:
         check_kind = 0
 
+    # Metadata-free pointer loads are pure per raw address for these models;
+    # share one memo across the machine's compiled functions.
+    if type(model).load_pointer_without_metadata in _PURE_PTR_LOADERS:
+        ptr_memo = machine._ptr_load_memo
+        ptr_memo_get = ptr_memo.get
+    else:
+        ptr_memo = None
+        ptr_memo_get = None
+
+    def ptr_parts(operand):
+        """(slot, coerce) for inline Temp pointer reads, or (None, reader).
+
+        With a slot, handlers do ``pointer = frame[slot]`` and call ``coerce``
+        only when the value is not already a PtrVal; otherwise ``coerce`` is a
+        full reader closure invoked with the frame.
+        """
+        if type(operand) is Temp and operand.index not in slot_types:
+            slot = operand.index + _FRAME_RESERVED
+            label = str(operand)
+
+            def coerce(value, label=label):
+                if type(value) is IntVal:
+                    return int_to_ptr(value, allocator)
+                if value is UNDEF:
+                    raise InterpreterError(f"use of undefined temporary {label}")
+                raise InterpreterError(f"expected a pointer, got {value!r}")
+
+            return slot, coerce
+        return None, _ptr_reader(machine, operand, slot_types)
+
+    def reader(operand):
+        return _reader(machine, operand, slot_types)
+
+    def raw_operand(operand):
+        return _raw_operand(machine, operand, slot_types)
+
+    def boxed_operand(operand):
+        """(mode, src, label): 0 = boxed Temp slot, 1 = hoisted value, 2 = reader."""
+        if type(operand) is Temp and operand.index not in slot_types:
+            return 0, operand.index + _FRAME_RESERVED, str(operand)
+        if type(operand) is Const:
+            hoisted = _const_value(machine, operand)
+            if hoisted is not None:
+                return 1, hoisted, None
+        return 2, reader(operand), None
+
+    # ------------------------------------------------------------------
+    # Pair-fusion prepass
+    # ------------------------------------------------------------------
+
+    use_counts: dict[int, int] = {}
+    for instr in instrs:
+        for arg in instr.args:
+            if type(arg) is Temp:
+                use_counts[arg.index] = use_counts.get(arg.index, 0) + 1
+
+    def move_delta(instr):
+        """Delta descriptor when ``instr`` is an inlineable pointer move."""
+        op = instr.op
+        if op is Opcode.FIELD:
+            if not inline_field:
+                return None
+            return (1, instr.attrs["offset"], 0, None)
+        if op is Opcode.GEP or op is Opcode.PTRADD:
+            if not inline_moves:
+                return None
+            element_size = instr.attrs["element_size"] if op is Opcode.GEP else 1
+            raw = raw_operand(instr.args[1])
+            if raw is None:
+                return None
+            if raw[0] == "const":
+                return (1, raw[1] * element_size, 0, None)
+            return (2, raw[1], element_size, raw[3])
+        return None
+
+    #: producer index -> ("mem", delta) or ("cmp",); the consumer at index+1
+    #: keeps its (unreachable) stand-alone handler so pc layout is unchanged.
+    fused: dict[int, tuple] = {}
+    i = 0
+    while i < len(instrs) - 1:
+        instr = instrs[i]
+        nxt = instrs[i + 1]
+        dest = instr.dest
+        if (dest is not None and use_counts.get(dest.index, 0) == 1
+                and nxt.args and type(nxt.args[0]) is Temp
+                and nxt.args[0].index == dest.index):
+            if nxt.op is Opcode.LOAD or nxt.op is Opcode.STORE:
+                delta = move_delta(instr)
+                if delta is not None:
+                    fused[i] = ("mem", delta)
+                    i += 2
+                    continue
+            elif (nxt.op is Opcode.CJUMP and instr.op is Opcode.CMP
+                  and instr.attrs["operator"] in _CMP_FUNCS):
+                fused[i] = ("cmp",)
+                i += 2
+                continue
+        i += 1
+
+    # ------------------------------------------------------------------
+    # Memory-op generators (source-specialized; see repro.interp.hotgen)
+    # ------------------------------------------------------------------
+
+    def bindings() -> dict:
+        """Fresh binding dict for a hotgen-generated handler (full name set)."""
+        return {
+            "pslot": None, "pcoerce": None, "d1": 0, "d2": 0, "dmsg": "",
+            "base_cost": base_cost, "check_access": check_access,
+            "size": 0, "size_m1": 0, "line_shift": line_shift,
+            "nsets_mask": nsets_mask, "nsets_shift": nsets_shift, "assoc": assoc,
+            "lat_l1": lat_l1, "lat_l2": lat_l2, "lat_dram": lat_dram,
+            "l1_sets": l1_sets, "l1_stats": l1_stats, "l2_access": l2_access,
+            "hier": hier, "hierarchy_access": hierarchy_access, "machine": machine,
+            "page_mask": page_mask, "page_size": page_size, "page_shift": page_shift,
+            "mem_size": mem_size, "pages_get": pages_get, "mem_pages": mem_pages,
+            "read_small": read_small, "write_small": write_small,
+            "write_ptr_raw": write_ptr_raw, "mem_tags": mem_tags,
+            "shadow_get": shadow_get, "shadow_entries": shadow_entries,
+            "shadow_pages": shadow_pages, "shadow_page_shift": PAGE_SHIFT,
+            "ptr_memo": ptr_memo, "ptr_memo_get": ptr_memo_get,
+            "load_ptr_no_meta": load_ptr_no_meta, "allocator": allocator,
+            "int_to_ptr": int_to_ptr, "reconcile": reconcile,
+            "appliers": (), "table": None, "out": 0, "next_pc": 0,
+            "signed": True, "read_value": None, "ptr_to_int": ptr_to_int,
+            "coerce_bytes": None, "coerce_signed": True, "size_mask": 0,
+            "comb_mask": 0, "const_raw": 0, "vslot": 0, "vmsg": "", "pad": b"",
+            "span": 8, "mem_unpack": None, "mem_pack": None,
+            "fname": function.name,
+        }
+
+    def gen_load(instr, ptr_operand, delta, extra, next_pc, out):
+        """LOAD handler; ``delta``/``extra`` describe a fused producer."""
+        ctype = instr.ctype
+        pslot, pcoerce = ptr_parts(ptr_operand)
+        dkind, d1, d2, dlabel = delta
+        b = bindings()
+        b["pslot"] = pslot
+        b["pcoerce"] = pcoerce
+        b["d1"] = d1
+        b["d2"] = d2
+        b["dmsg"] = f"use of undefined temporary {dlabel}"
+        b["out"] = out
+        b["next_pc"] = next_pc
+        appliers = ()
+        if isinstance(ctype, PointerType) or _is_pointer_sized_int(ctype):
+            size = pointer_bytes
+            if isinstance(ctype, PointerType):
+                kind = "ptr"
+                appliers = _qualifier_appliers(machine, ctype)
+            else:
+                kind = "psint"
+        else:
+            size = max(ctype.size(ctx), 1)
+            if instr.dest is not None and instr.dest.index in slot_types:
+                kind = "raw"
+            else:
+                kind = "box"
+                b["table"] = intern_table(size, getattr(ctype, "signed", True))
+        b["size"] = size
+        b["size_m1"] = size - 1
+        signed = getattr(ctype, "signed", True)
+        b["signed"] = signed
+        b["appliers"] = appliers
+        mem_unpack = (unpacker_for(8, False) if kind in ("ptr", "psint")
+                      else unpacker_for(size, signed))
+        b["mem_unpack"] = mem_unpack
+        shape = (kind, pslot is not None, dkind, extra, check_kind,
+                 collect_timing, inline_cache, uses_shadow,
+                 ptr_memo is not None, inline_reconcile, len(appliers),
+                 mem_unpack is not None)
+        return load_maker(shape)(b)
+
+    def gen_store(instr, ptr_operand, delta, extra, next_pc):
+        """STORE handler; ``delta``/``extra`` describe a fused producer."""
+        ctype = instr.ctype
+        pslot, pcoerce = ptr_parts(ptr_operand)
+        dkind, d1, d2, dlabel = delta
+        param_index = instr.attrs.get("param_index")
+        b = bindings()
+        b["pslot"] = pslot
+        b["pcoerce"] = pcoerce
+        b["d1"] = d1
+        b["d2"] = d2
+        b["dmsg"] = f"use of undefined temporary {dlabel}"
+        b["next_pc"] = next_pc
+
+        if param_index is not None:
+            def read_value(frame, param_index=param_index):
+                return frame[_ARGS][param_index]
+        elif (isinstance(ctype, PointerType) or _is_pointer_sized_int(ctype)
+              or raw_operand(instr.args[1]) is None):
+            read_value = reader(instr.args[1])
+        else:
+            read_value = None
+
+        if isinstance(ctype, PointerType) or _is_pointer_sized_int(ctype):
+            span = pointer_bytes if pointer_bytes > 8 else 8
+            b["size"] = pointer_bytes
+            b["size_m1"] = pointer_bytes - 1
+            b["span"] = span
+            b["pad"] = bytes(span - 8)
+            b["read_value"] = read_value
+            mem_pack = packer_for(8)
+            b["mem_pack"] = mem_pack
+            shape = ("ptr", pslot is not None, dkind, extra, check_kind,
+                     collect_timing, inline_cache, clear_shadow, uses_shadow,
+                     2, isinstance(ctype, PointerType), span > 8,
+                     mem_pack is not None)
+            return store_maker(shape)(b)
+
+        size = max(ctype.size(ctx), 1)
+        b["size"] = size
+        b["size_m1"] = size - 1
+        b["size_mask"] = MASKS[size] if size <= 8 else (1 << (8 * size)) - 1
+        raw_desc = raw_operand(instr.args[1]) if param_index is None else None
+        coerce_flag = False
+        if raw_desc is not None:
+            vkind, vpayload, (vwidth, _vs), vlabel = raw_desc
+            comb_mask = MASKS[min(vwidth, size)] if size <= 8 else MASKS[vwidth]
+            if vkind == "const":
+                b["const_raw"] = vpayload & comb_mask
+                value_mode = 0
+            else:
+                b["vslot"] = vpayload
+                b["vmsg"] = f"use of undefined temporary {vlabel}"
+                b["comb_mask"] = comb_mask
+                value_mode = 1
+        else:
+            b["read_value"] = read_value
+            coerce_bytes = min(ctype.size(ctx), 8) if isinstance(ctype, IntType) else None
+            b["coerce_bytes"] = coerce_bytes
+            b["coerce_signed"] = getattr(ctype, "signed", True)
+            value_mode = 2
+            coerce_flag = coerce_bytes is not None
+        mem_pack = packer_for(size)
+        b["mem_pack"] = mem_pack
+        shape = ("scalar", pslot is not None, dkind, extra, check_kind,
+                 collect_timing, inline_cache, clear_shadow, uses_shadow,
+                 value_mode, coerce_flag, False, mem_pack is not None)
+        return store_maker(shape)(b)
+
+    def gen_cmp_branch(cmp_instr, cjump_instr):
+        """Fused CMP+CJUMP: compare and branch in one handler."""
+        operator = cmp_instr.attrs["operator"]
+        compare = _CMP_FUNCS[operator]
+        then_pc = labels[cjump_instr.attrs["then"]]
+        else_pc = labels[cjump_instr.attrs["else"]]
+        ptr_compare = model.ptr_compare
+        raw_left = raw_operand(cmp_instr.args[0])
+        raw_right = raw_operand(cmp_instr.args[1])
+        if raw_left is not None and raw_right is not None:
+            lkind, lpayload, _lt, llabel = raw_left
+            rkind, rpayload, _rt, rlabel = raw_right
+
+            def handler(frame, compare=compare, machine=machine,
+                        then_pc=then_pc, else_pc=else_pc):
+                if lkind == "slot":
+                    a = frame[lpayload]
+                    if type(a) is not int:
+                        raise InterpreterError(f"use of undefined temporary {llabel}")
+                else:
+                    a = lpayload
+                if rkind == "slot":
+                    b = frame[rpayload]
+                    if type(b) is not int:
+                        raise InterpreterError(f"use of undefined temporary {rlabel}")
+                else:
+                    b = rpayload
+                result = compare(a, b)
+                machine.instructions = icount = machine.instructions + 1
+                if icount > machine.max_instructions:
+                    raise InterpreterError(
+                        f"instruction budget of {machine.max_instructions} "
+                        f"exhausted in {function.name}")
+                return then_pc if result else else_pc
+
+            return handler
+
+        lmode, lsrc, llabel = boxed_operand(cmp_instr.args[0])
+        rmode, rsrc, rlabel = boxed_operand(cmp_instr.args[1])
+
+        def handler(frame, lmode=lmode, lsrc=lsrc, llabel=llabel, rmode=rmode,
+                    rsrc=rsrc, rlabel=rlabel, compare=compare,
+                    ptr_compare=ptr_compare, operator=operator, machine=machine,
+                    then_pc=then_pc, else_pc=else_pc):
+            if lmode == 0:
+                left = frame[lsrc]
+                if left is UNDEF:
+                    raise InterpreterError(f"use of undefined temporary {llabel}")
+            elif lmode == 1:
+                left = lsrc
+            else:
+                left = lsrc(frame)
+            if rmode == 0:
+                right = frame[rsrc]
+                if right is UNDEF:
+                    raise InterpreterError(f"use of undefined temporary {rlabel}")
+            elif rmode == 1:
+                right = rsrc
+            else:
+                right = rsrc(frame)
+            left_is_ptr = type(left) is PtrVal
+            if left_is_ptr and type(right) is PtrVal and not inline_ptrcmp:
+                result = ptr_compare(left, right, operator)
+            else:
+                result = compare(left.address if left_is_ptr else left.value,
+                                 right.address if type(right) is PtrVal else right.value)
+            machine.instructions = icount = machine.instructions + 1
+            if icount > machine.max_instructions:
+                raise InterpreterError(
+                    f"instruction budget of {machine.max_instructions} "
+                    f"exhausted in {function.name}")
+            return then_pc if result else else_pc
+
+        return handler
+
+    # ------------------------------------------------------------------
+    # Main compilation loop
+    # ------------------------------------------------------------------
+
     handlers: list = []
     costs: list = []
     alloca_index = 0
@@ -290,8 +833,29 @@ def compile_function(machine, function: Function) -> CompiledFunction:
         op = instr.op
         next_pc = index + 1
         dest = instr.dest.index + _FRAME_RESERVED if instr.dest is not None else None
+        dest_type = slot_types.get(instr.dest.index) if instr.dest is not None else None
         cost = base_cost
         handler = None
+        fusion = fused.get(index)
+
+        if fusion is not None:
+            consumer = instrs[index + 1]
+            if fusion[0] == "mem":
+                cost = base_cost + base_cost  # both halves, charged up front
+                delta = fusion[1]
+                if consumer.op is Opcode.LOAD:
+                    consumer_out = (consumer.dest.index + _FRAME_RESERVED
+                                    if consumer.dest is not None else scratch)
+                    handler = gen_load(consumer, instr.args[0], delta, True,
+                                       index + 2, consumer_out)
+                else:
+                    handler = gen_store(consumer, instr.args[0], delta, True, index + 2)
+            else:
+                cost = base_cost + branch_cost  # both halves, charged up front
+                handler = gen_cmp_branch(instr, consumer)
+            handlers.append(handler)
+            costs.append(cost)
+            continue
 
         if op is Opcode.LABEL or op is Opcode.NOP:
             cost = 0
@@ -304,23 +868,64 @@ def compile_function(machine, function: Function) -> CompiledFunction:
 
         elif op is Opcode.CJUMP:
             cost = branch_cost
-            read_cond = _reader(machine, instr.args[0])
             then_pc = labels[instr.attrs["then"]]
             else_pc = labels[instr.attrs["else"]]
+            raw = raw_operand(instr.args[0])
+            if raw is not None and raw[0] == "slot":
+                _, slot, _, label = raw
 
-            def handler(frame, read_cond=read_cond, then_pc=then_pc, else_pc=else_pc):
-                condition = read_cond(frame)
-                if type(condition) is IntVal:
-                    return then_pc if condition.value != 0 else else_pc
-                return else_pc if condition.is_null else then_pc
+                def handler(frame, slot=slot, label=label, then_pc=then_pc, else_pc=else_pc):
+                    condition = frame[slot]
+                    if type(condition) is int:
+                        return then_pc if condition else else_pc
+                    raise InterpreterError(f"use of undefined temporary {label}")
+            elif raw is not None:
+                handler = _make_fallthrough(then_pc if raw[1] else else_pc)
+            else:
+                read_cond = reader(instr.args[0])
+
+                def handler(frame, read_cond=read_cond, then_pc=then_pc, else_pc=else_pc):
+                    condition = read_cond(frame)
+                    if type(condition) is IntVal:
+                        return then_pc if condition.value != 0 else else_pc
+                    return else_pc if condition.is_null else then_pc
 
         elif op is Opcode.RET:
             if instr.args:
-                read_value = _reader(machine, instr.args[0])
+                # Raw operands are boxed here: the return value crosses back
+                # into the caller's (untyped) destination slot.
+                operand = instr.args[0]
+                if type(operand) is Temp:
+                    slot = operand.index + _FRAME_RESERVED
+                    label = str(operand)
+                    slot_type = slot_types.get(operand.index)
+                    if slot_type is None:
+                        def handler(frame, slot=slot, label=label, stop=stop):
+                            value = frame[slot]
+                            if value is UNDEF:
+                                raise InterpreterError(f"use of undefined temporary {label}")
+                            frame[_RET] = value
+                            return stop
+                    else:
+                        width, signed = slot_type
+                        table = intern_table(width, signed)
 
-                def handler(frame, read_value=read_value, stop=stop):
-                    frame[_RET] = read_value(frame)
-                    return stop
+                        def handler(frame, slot=slot, label=label, width=width,
+                                    signed=signed, table=table, stop=stop):
+                            value = frame[slot]
+                            if type(value) is not int:
+                                raise InterpreterError(f"use of undefined temporary {label}")
+                            if INTERN_MIN <= value <= INTERN_MAX:
+                                frame[_RET] = table[value - INTERN_MIN]
+                            else:
+                                frame[_RET] = IntVal(value, width, signed)
+                            return stop
+                else:
+                    read_value = reader(instr.args[0])
+
+                    def handler(frame, read_value=read_value, stop=stop):
+                        frame[_RET] = read_value(frame)
+                        return stop
             else:
                 handler = _make_fallthrough(stop)
 
@@ -334,267 +939,144 @@ def compile_function(machine, function: Function) -> CompiledFunction:
             allocate_stack = allocator.allocate_stack
             make_pointer = model.make_pointer
             out = dest if dest is not None else scratch
+            model_mkptr = type(model).make_pointer
+            if model_mkptr is MemoryModel.make_pointer or model_mkptr is Pdp11Model.make_pointer:
+                # Both known make_pointer policies construct the same PtrVal
+                # shape, differing only in the ``checked`` flag.
+                mk_checked = model_mkptr is MemoryModel.make_pointer
 
-            def handler(frame, slot=slot, size=size, name=name, alignment=alignment,
-                        allocate_stack=allocate_stack, make_pointer=make_pointer,
-                        out=out, next_pc=next_pc):
-                allocas = frame[_ALLOCAS]
-                pointer = allocas[slot]
-                if pointer is None:
-                    pointer = make_pointer(allocate_stack(size, name, alignment=alignment))
-                    allocas[slot] = pointer
-                frame[out] = pointer
-                return next_pc
+                def handler(frame, slot=slot, size=size, name=name, alignment=alignment,
+                            allocate_stack=allocate_stack, mk_checked=mk_checked,
+                            out=out, next_pc=next_pc):
+                    allocas = frame[_ALLOCAS]
+                    pointer = allocas[slot]
+                    if pointer is None:
+                        obj = allocate_stack(size, name, alignment=alignment)
+                        pointer = PtrVal(obj.base, obj.base, obj.size, obj,
+                                         PERM_ALL, True, mk_checked)
+                        allocas[slot] = pointer
+                    frame[out] = pointer
+                    return next_pc
+            else:
+                def handler(frame, slot=slot, size=size, name=name, alignment=alignment,
+                            allocate_stack=allocate_stack, make_pointer=make_pointer,
+                            out=out, next_pc=next_pc):
+                    allocas = frame[_ALLOCAS]
+                    pointer = allocas[slot]
+                    if pointer is None:
+                        pointer = make_pointer(allocate_stack(size, name, alignment=alignment))
+                        allocas[slot] = pointer
+                    frame[out] = pointer
+                    return next_pc
 
         elif op is Opcode.LOAD:
-            read_ptr = _ptr_reader(machine, instr.args[0])
-            ctype = instr.ctype
-            out = dest if dest is not None else scratch
-            if isinstance(ctype, PointerType) or _is_pointer_sized_int(ctype):
-                is_ptr_type = isinstance(ctype, PointerType)
-                appliers = _qualifier_appliers(machine, ctype) if is_ptr_type else ()
-                signed = getattr(ctype, "signed", True)
-
-                def handler(frame, read_ptr=read_ptr, machine=machine, out=out,
-                            is_ptr_type=is_ptr_type, appliers=appliers, signed=signed,
-                            next_pc=next_pc):
-                    pointer = read_ptr(frame)
-                    address = pointer.address
-                    if check_kind == 1:
-                        if not (pointer.tag and pointer.checked
-                                and pointer.perms & 1
-                                and pointer.base <= address
-                                and address + pointer_bytes <= pointer.base + pointer.length
-                                and not getattr(pointer.obj, "freed", False)
-                                and not (address == 0 and pointer.obj is None)):
-                            address = check_access(pointer, pointer_bytes, is_write=False)
-                    elif check_kind == 2:
-                        if address < 4096:
-                            address = check_access(pointer, pointer_bytes, is_write=False)
-                    else:
-                        address = check_access(pointer, pointer_bytes, is_write=False)
-                    machine.memory_accesses += 1
-                    if collect_timing:
-                        machine.cycles += hierarchy_access(address, pointer_bytes, is_write=False)
-                    raw = read_u64(address)
-                    entry = shadow_get(address) if uses_shadow else None
-                    if is_ptr_type:
-                        if entry is None:
-                            loaded = load_ptr_no_meta(raw, allocator)
-                        elif type(entry) is PtrVal:
-                            loaded = reconcile(raw, entry, allocator)
-                        elif type(entry) is IntVal:
-                            loaded = int_to_ptr(entry.with_value(raw, provenance=entry.provenance),
-                                                allocator)
-                        else:
-                            raise InterpreterError(f"corrupt shadow entry {entry!r}")
-                        for apply in appliers:
-                            loaded = apply(loaded)
-                        frame[out] = loaded
-                    else:
-                        if type(entry) is IntVal and entry.unsigned == raw:
-                            frame[out] = IntVal(raw, bytes=8, signed=signed,
-                                                provenance=entry.provenance, pointer_sized=True)
-                        elif type(entry) is PtrVal and entry.address == raw:
-                            frame[out] = IntVal(raw, bytes=8, signed=signed,
-                                                provenance=Provenance(entry), pointer_sized=True)
-                        else:
-                            frame[out] = IntVal(raw, bytes=8, signed=signed, pointer_sized=True)
-                    return next_pc
-            else:
-                size = max(ctype.size(ctx), 1)
-                signed = getattr(ctype, "signed", True)
-                small = _small_ints(size, signed)
-
-                def handler(frame, read_ptr=read_ptr, machine=machine, out=out,
-                            size=size, signed=signed, small=small, next_pc=next_pc):
-                    pointer = read_ptr(frame)
-                    address = pointer.address
-                    if check_kind == 1:
-                        if not (pointer.tag and pointer.checked
-                                and pointer.perms & 1
-                                and pointer.base <= address
-                                and address + size <= pointer.base + pointer.length
-                                and not getattr(pointer.obj, "freed", False)
-                                and not (address == 0 and pointer.obj is None)):
-                            address = check_access(pointer, size, is_write=False)
-                    elif check_kind == 2:
-                        if address < 4096:
-                            address = check_access(pointer, size, is_write=False)
-                    else:
-                        address = check_access(pointer, size, is_write=False)
-                    machine.memory_accesses += 1
-                    if collect_timing:
-                        machine.cycles += hierarchy_access(address, size, is_write=False)
-                    raw = read_small(address, size, signed)
-                    if small is not None and 0 <= raw <= 256:
-                        frame[out] = small[raw]
-                    else:
-                        frame[out] = IntVal(raw, bytes=size, signed=signed)
-                    return next_pc
+            handler = gen_load(instr, instr.args[0], _NO_DELTA, False, next_pc,
+                               dest if dest is not None else scratch)
 
         elif op is Opcode.STORE:
-            read_ptr = _ptr_reader(machine, instr.args[0])
-            param_index = instr.attrs.get("param_index")
-            if param_index is not None:
-                def read_value(frame, param_index=param_index):
-                    return frame[_ARGS][param_index]
-            else:
-                read_value = _reader(machine, instr.args[1])
-            ctype = instr.ctype
-            is_ptr_type = isinstance(ctype, PointerType)
-            if is_ptr_type or _is_pointer_sized_int(ctype):
+            handler = gen_store(instr, instr.args[0], _NO_DELTA, False, next_pc)
 
-                def handler(frame, read_ptr=read_ptr, read_value=read_value, machine=machine,
-                            is_ptr_type=is_ptr_type, next_pc=next_pc):
-                    pointer = read_ptr(frame)
-                    value = read_value(frame)
-                    if is_ptr_type and type(value) is IntVal:
-                        value = int_to_ptr(value, allocator)
-                    address = pointer.address
-                    if check_kind == 1:
-                        if not (pointer.tag and pointer.checked
-                                and pointer.perms & 2
-                                and pointer.base <= address
-                                and address + pointer_bytes <= pointer.base + pointer.length
-                                and not getattr(pointer.obj, "freed", False)
-                                and not (address == 0 and pointer.obj is None)):
-                            address = check_access(pointer, pointer_bytes, is_write=True)
-                    elif check_kind == 2:
-                        if address < 4096:
-                            address = check_access(pointer, pointer_bytes, is_write=True)
-                    else:
-                        address = check_access(pointer, pointer_bytes, is_write=True)
-                    machine.memory_accesses += 1
-                    if collect_timing:
-                        machine.cycles += hierarchy_access(address, pointer_bytes, is_write=True)
-                    raw = value.address if type(value) is PtrVal else value.unsigned
-                    if clear_shadow and shadow:
-                        for key in range(address - address % 8, address + pointer_bytes, 8):
-                            if key in shadow:
-                                del shadow[key]
-                    write_ptr_raw(address, raw, pointer_bytes)
-                    if uses_shadow:
-                        if address & 7:
-                            machine._shadow_unaligned = True
-                        shadow[address] = value
-                    return next_pc
-            else:
-                size = max(ctype.size(ctx), 1)
-                coerce_bytes = min(ctype.size(ctx), 8) if isinstance(ctype, IntType) else None
-                coerce_signed = getattr(ctype, "signed", True)
-
-                def handler(frame, read_ptr=read_ptr, read_value=read_value, machine=machine,
-                            size=size, coerce_bytes=coerce_bytes, coerce_signed=coerce_signed,
-                            next_pc=next_pc):
-                    pointer = read_ptr(frame)
-                    value = read_value(frame)
-                    if coerce_bytes is not None and type(value) is PtrVal:
-                        value = ptr_to_int(value, bytes=coerce_bytes, signed=coerce_signed,
-                                           pointer_sized=False)
-                    address = pointer.address
-                    if check_kind == 1:
-                        if not (pointer.tag and pointer.checked
-                                and pointer.perms & 2
-                                and pointer.base <= address
-                                and address + size <= pointer.base + pointer.length
-                                and not getattr(pointer.obj, "freed", False)
-                                and not (address == 0 and pointer.obj is None)):
-                            address = check_access(pointer, size, is_write=True)
-                    elif check_kind == 2:
-                        if address < 4096:
-                            address = check_access(pointer, size, is_write=True)
-                    else:
-                        address = check_access(pointer, size, is_write=True)
-                    machine.memory_accesses += 1
-                    if collect_timing:
-                        machine.cycles += hierarchy_access(address, size, is_write=True)
-                    if clear_shadow and shadow:
-                        for key in range(address - address % 8, address + size, 8):
-                            if key in shadow:
-                                del shadow[key]
-                    raw_value = value.unsigned if type(value) is IntVal else int(value)
-                    write_small(address, size, raw_value)
-                    return next_pc
-
-        elif op is Opcode.GEP:
-            read_ptr = _ptr_reader(machine, instr.args[0])
-            read_idx = _reader(machine, instr.args[1])
-            element_size = instr.attrs["element_size"]
+        elif op is Opcode.GEP or op is Opcode.PTRADD:
+            element_size = instr.attrs["element_size"] if op is Opcode.GEP else 1
             out = dest if dest is not None else scratch
-            if inline_moves:
-                def handler(frame, read_ptr=read_ptr, read_idx=read_idx,
-                            element_size=element_size, out=out, next_pc=next_pc):
-                    pointer = read_ptr(frame)
-                    idx = read_idx(frame)
-                    delta = (idx.value if type(idx) is IntVal else idx.address) * element_size
-                    frame[out] = PtrVal((pointer.address + delta) & _ADDRESS_MASK,
-                                        pointer.base, pointer.length, pointer.obj,
-                                        pointer.perms, pointer.tag, pointer.checked)
+            pslot, pcoerce = ptr_parts(instr.args[0])
+            raw = raw_operand(instr.args[1])
+            if inline_moves and raw is not None:
+                dkind, d1, d2, dlabel = ((1, raw[1] * element_size, 0, None)
+                                         if raw[0] == "const"
+                                         else (2, raw[1], element_size, raw[3]))
+
+                def handler(frame, pslot=pslot, pcoerce=pcoerce, dkind=dkind, d1=d1,
+                            d2=d2, dlabel=dlabel, out=out, next_pc=next_pc):
+                    if pslot is None:
+                        pointer = pcoerce(frame)
+                    else:
+                        pointer = frame[pslot]
+                        if type(pointer) is not PtrVal:
+                            pointer = pcoerce(pointer)
+                    if dkind == 1:
+                        address = (pointer.address + d1) & M64
+                    else:
+                        idx = frame[d1]
+                        if type(idx) is not int:
+                            raise InterpreterError(f"use of undefined temporary {dlabel}")
+                        address = (pointer.address + idx * d2) & M64
+                    frame[out] = PtrVal(address, pointer.base, pointer.length,
+                                        pointer.obj, pointer.perms, pointer.tag,
+                                        pointer.checked)
                     return next_pc
             else:
-                def handler(frame, read_ptr=read_ptr, read_idx=read_idx,
-                            element_size=element_size, out=out, next_pc=next_pc):
-                    pointer = read_ptr(frame)
-                    idx = read_idx(frame)
-                    delta = (idx.value if type(idx) is IntVal else idx.address) * element_size
-                    frame[out] = ptr_offset(pointer, delta)
-                    return next_pc
+                read_ptr = _ptr_reader(machine, instr.args[0], slot_types)
+                read_idx = reader(instr.args[1])
+                if inline_moves:
+                    def handler(frame, read_ptr=read_ptr, read_idx=read_idx,
+                                element_size=element_size, out=out, next_pc=next_pc):
+                        pointer = read_ptr(frame)
+                        idx = read_idx(frame)
+                        delta = (idx.value if type(idx) is IntVal else idx.address) * element_size
+                        frame[out] = PtrVal((pointer.address + delta) & M64,
+                                            pointer.base, pointer.length, pointer.obj,
+                                            pointer.perms, pointer.tag, pointer.checked)
+                        return next_pc
+                else:
+                    def handler(frame, read_ptr=read_ptr, read_idx=read_idx,
+                                element_size=element_size, out=out, next_pc=next_pc):
+                        pointer = read_ptr(frame)
+                        idx = read_idx(frame)
+                        delta = (idx.value if type(idx) is IntVal else idx.address) * element_size
+                        frame[out] = ptr_offset(pointer, delta)
+                        return next_pc
 
         elif op is Opcode.FIELD:
-            read_ptr = _ptr_reader(machine, instr.args[0])
             field_type = instr.ctype.pointee if isinstance(instr.ctype, PointerType) else None
             field_size = field_type.size(ctx) if field_type is not None else 1
             offset = instr.attrs["offset"]
             field_address = model.field_address
             out = dest if dest is not None else scratch
             if inline_field:
-                def handler(frame, read_ptr=read_ptr, offset=offset, out=out, next_pc=next_pc):
-                    pointer = read_ptr(frame)
-                    frame[out] = PtrVal((pointer.address + offset) & _ADDRESS_MASK,
+                pslot, pcoerce = ptr_parts(instr.args[0])
+
+                def handler(frame, pslot=pslot, pcoerce=pcoerce, offset=offset,
+                            out=out, next_pc=next_pc):
+                    if pslot is None:
+                        pointer = pcoerce(frame)
+                    else:
+                        pointer = frame[pslot]
+                        if type(pointer) is not PtrVal:
+                            pointer = pcoerce(pointer)
+                    frame[out] = PtrVal((pointer.address + offset) & M64,
                                         pointer.base, pointer.length, pointer.obj,
                                         pointer.perms, pointer.tag, pointer.checked)
                     return next_pc
             else:
+                read_ptr = _ptr_reader(machine, instr.args[0], slot_types)
+
                 def handler(frame, read_ptr=read_ptr, offset=offset, field_size=field_size,
                             field_address=field_address, out=out, next_pc=next_pc):
                     frame[out] = field_address(read_ptr(frame), offset, field_size)
                     return next_pc
 
-        elif op is Opcode.PTRADD:
-            read_ptr = _ptr_reader(machine, instr.args[0])
-            read_delta = _reader(machine, instr.args[1])
-            out = dest if dest is not None else scratch
-            if inline_moves:
-                def handler(frame, read_ptr=read_ptr, read_delta=read_delta, out=out,
-                            next_pc=next_pc):
-                    pointer = read_ptr(frame)
-                    delta = read_delta(frame).value
-                    frame[out] = PtrVal((pointer.address + delta) & _ADDRESS_MASK,
-                                        pointer.base, pointer.length, pointer.obj,
-                                        pointer.perms, pointer.tag, pointer.checked)
-                    return next_pc
-            else:
-                def handler(frame, read_ptr=read_ptr, read_delta=read_delta, out=out,
-                            next_pc=next_pc):
-                    frame[out] = ptr_offset(read_ptr(frame), read_delta(frame).value)
-                    return next_pc
-
         elif op is Opcode.PTRDIFF:
-            read_a = _ptr_reader(machine, instr.args[0])
-            read_b = _ptr_reader(machine, instr.args[1])
+            read_a = _ptr_reader(machine, instr.args[0], slot_types)
+            read_b = _ptr_reader(machine, instr.args[1], slot_types)
             element_size = instr.attrs.get("element_size", 1)
             ptr_diff = model.ptr_diff
             out = dest if dest is not None else scratch
-
-            def handler(frame, read_a=read_a, read_b=read_b, element_size=element_size,
-                        ptr_diff=ptr_diff, out=out, next_pc=next_pc):
-                frame[out] = IntVal(ptr_diff(read_a(frame), read_b(frame), element_size),
-                                    bytes=8, signed=True)
-                return next_pc
+            if dest_type is not None:
+                def handler(frame, read_a=read_a, read_b=read_b, element_size=element_size,
+                            ptr_diff=ptr_diff, out=out, next_pc=next_pc):
+                    raw = ptr_diff(read_a(frame), read_b(frame), element_size) & M64
+                    frame[out] = raw - 0x1_0000_0000_0000_0000 if raw >= 0x8000_0000_0000_0000 else raw
+                    return next_pc
+            else:
+                def handler(frame, read_a=read_a, read_b=read_b, element_size=element_size,
+                            ptr_diff=ptr_diff, out=out, next_pc=next_pc):
+                    frame[out] = IntVal(ptr_diff(read_a(frame), read_b(frame), element_size),
+                                        bytes=8, signed=True)
+                    return next_pc
 
         elif op is Opcode.PTRTOINT:
-            read_ptr = _ptr_reader(machine, instr.args[0])
+            read_ptr = _ptr_reader(machine, instr.args[0], slot_types)
             target = instr.ctype
             width = min(target.size(ctx), 8)
             signed = getattr(target, "signed", True)
@@ -608,7 +1090,7 @@ def compile_function(machine, function: Function) -> CompiledFunction:
                 return next_pc
 
         elif op is Opcode.INTTOPTR:
-            read_value = _reader(machine, instr.args[0])
+            read_value = reader(instr.args[0])
             appliers = (_qualifier_appliers(machine, instr.ctype)
                         if isinstance(instr.ctype, PointerType) else ())
             out = dest if dest is not None else scratch
@@ -622,92 +1104,148 @@ def compile_function(machine, function: Function) -> CompiledFunction:
                 return next_pc
 
         elif op is Opcode.BITCAST:
-            read_value = _reader(machine, instr.args[0])
             deconst = model.deconst if instr.attrs.get("deconst") else None
             appliers = (_qualifier_appliers(machine, instr.ctype)
                         if isinstance(instr.ctype, PointerType) else ())
             out = dest if dest is not None else scratch
+            raw = raw_operand(instr.args[0])
+            if raw is not None and raw[0] == "slot" and dest_type is not None:
+                # Raw pass-through: the analysis gave the destination the
+                # source's exact type, so the register value is unchanged.
+                _, slot, _, label = raw
 
-            def handler(frame, read_value=read_value, deconst=deconst, appliers=appliers,
-                        out=out, next_pc=next_pc):
-                value = read_value(frame)
-                if type(value) is PtrVal:
-                    if deconst is not None:
-                        value = deconst(value)
-                    for apply in appliers:
-                        value = apply(value)
-                frame[out] = value
-                return next_pc
+                def handler(frame, slot=slot, label=label, out=out, next_pc=next_pc):
+                    value = frame[slot]
+                    if type(value) is not int:
+                        raise InterpreterError(f"use of undefined temporary {label}")
+                    frame[out] = value
+                    return next_pc
+            elif raw is not None and dest_type is not None:
+                # Constant source with an unboxed destination: the raw
+                # register value is the constant itself, known at compile time.
+                const_raw = raw[1]
+
+                def handler(frame, const_raw=const_raw, out=out, next_pc=next_pc):
+                    frame[out] = const_raw
+                    return next_pc
+            else:
+                read_value = reader(instr.args[0])
+
+                def handler(frame, read_value=read_value, deconst=deconst, appliers=appliers,
+                            out=out, next_pc=next_pc):
+                    value = read_value(frame)
+                    if type(value) is PtrVal:
+                        if deconst is not None:
+                            value = deconst(value)
+                        for apply in appliers:
+                            value = apply(value)
+                    frame[out] = value
+                    return next_pc
 
         elif op is Opcode.INTCAST:
-            read_value = _reader(machine, instr.args[0])
             target = instr.ctype
             width = min(target.size(ctx), 8)
             signed = getattr(target, "signed", True)
             pointer_sized = _is_pointer_sized_int(target)
             out = dest if dest is not None else scratch
+            raw = raw_operand(instr.args[0])
+            if raw is not None and raw[0] == "slot" and dest_type is not None:
+                # Raw-to-raw conversion: inline table-driven masking, no box.
+                _, slot, (swidth, ssigned), label = raw
+                mask = MASKS[width]
+                sign_min = SIGN_MIN[width] if signed else None
+                modulus = MODULI[width]
+                identity = (swidth, ssigned) == (width, signed)
 
-            def handler(frame, read_value=read_value, width=width, signed=signed,
-                        pointer_sized=pointer_sized, out=out, next_pc=next_pc):
-                value = read_value(frame)
-                if type(value) is PtrVal:
-                    frame[out] = ptr_to_int(value, bytes=width, signed=signed,
-                                            pointer_sized=pointer_sized)
-                elif (value.bytes == width and value.signed == signed
-                      and value.pointer_sized == pointer_sized):
-                    frame[out] = value  # no-op conversion: IntVal is immutable
-                else:
-                    frame[out] = value.converted(bytes=width, signed=signed,
-                                                 pointer_sized=pointer_sized)
-                return next_pc
+                def handler(frame, slot=slot, label=label, identity=identity, mask=mask,
+                            sign_min=sign_min, modulus=modulus, out=out, next_pc=next_pc):
+                    value = frame[slot]
+                    if type(value) is not int:
+                        raise InterpreterError(f"use of undefined temporary {label}")
+                    if not identity:
+                        value &= mask
+                        if sign_min is not None and value >= sign_min:
+                            value -= modulus
+                    frame[out] = value
+                    return next_pc
+            elif raw is not None and dest_type is not None:
+                # Constant source with an unboxed destination: fold the
+                # conversion at compile time.
+                const_raw = IntVal(raw[1], width, signed).value
+
+                def handler(frame, const_raw=const_raw, out=out, next_pc=next_pc):
+                    frame[out] = const_raw
+                    return next_pc
+            else:
+                read_value = reader(instr.args[0])
+
+                def handler(frame, read_value=read_value, width=width, signed=signed,
+                            pointer_sized=pointer_sized, out=out, next_pc=next_pc):
+                    value = read_value(frame)
+                    if type(value) is PtrVal:
+                        frame[out] = ptr_to_int(value, bytes=width, signed=signed,
+                                                pointer_sized=pointer_sized)
+                    elif (value.bytes == width and value.signed == signed
+                          and value.pointer_sized == pointer_sized):
+                        frame[out] = value  # no-op conversion: IntVal is immutable
+                    else:
+                        frame[out] = value.converted(bytes=width, signed=signed,
+                                                     pointer_sized=pointer_sized)
+                    return next_pc
 
         elif op is Opcode.BINOP:
             handler = _make_binop(machine, instr, dest if dest is not None else scratch,
-                                  next_pc, propagate_provenance, ptr_to_int)
+                                  dest_type, slot_types, next_pc, propagate_provenance,
+                                  ptr_to_int)
 
         elif op is Opcode.UNOP:
-            read_value = _reader(machine, instr.args[0])
             negate = instr.attrs["operator"] == "neg"
             out = dest if dest is not None else scratch
+            raw = raw_operand(instr.args[0])
+            if raw is not None and raw[0] == "slot" and dest_type is not None:
+                _, slot, (swidth, ssigned), label = raw
+                mask = MASKS[swidth]
+                sign_min = SIGN_MIN[swidth] if ssigned else None
+                modulus = MODULI[swidth]
 
-            def handler(frame, read_value=read_value, negate=negate, out=out, next_pc=next_pc):
-                value = read_value(frame)
-                if type(value) is not IntVal:
-                    raise InterpreterError("unary arithmetic on a pointer value")
-                frame[out] = value.with_value(-value.value if negate else ~value.value,
-                                              provenance=None)
-                return next_pc
+                def handler(frame, slot=slot, label=label, negate=negate, mask=mask,
+                            sign_min=sign_min, modulus=modulus, out=out, next_pc=next_pc):
+                    value = frame[slot]
+                    if type(value) is not int:
+                        raise InterpreterError(f"use of undefined temporary {label}")
+                    value = (-value if negate else ~value) & mask
+                    if sign_min is not None and value >= sign_min:
+                        value -= modulus
+                    frame[out] = value
+                    return next_pc
+            elif raw is not None and dest_type is not None:
+                # Constant operand with an unboxed destination: fold at
+                # compile time (same wrapping as IntVal.with_value).
+                _, const_value, (swidth, ssigned), _label = raw
+                const_raw = IntVal(-const_value if negate else ~const_value,
+                                   swidth, ssigned).value
+
+                def handler(frame, const_raw=const_raw, out=out, next_pc=next_pc):
+                    frame[out] = const_raw
+                    return next_pc
+            else:
+                read_value = reader(instr.args[0])
+
+                def handler(frame, read_value=read_value, negate=negate, out=out, next_pc=next_pc):
+                    value = read_value(frame)
+                    if type(value) is not IntVal:
+                        raise InterpreterError("unary arithmetic on a pointer value")
+                    frame[out] = value.with_value(-value.value if negate else ~value.value,
+                                                  provenance=None)
+                    return next_pc
 
         elif op is Opcode.CMP:
-            read_left = _reader(machine, instr.args[0])
-            read_right = _reader(machine, instr.args[1])
-            operator = instr.attrs["operator"]
-            compare = _CMP_FUNCS.get(operator)
-            ptr_compare = model.ptr_compare
-            out = dest if dest is not None else scratch
-            if compare is None:
-                def handler(frame, read_left=read_left, read_right=read_right, operator=operator):
-                    read_left(frame)
-                    read_right(frame)
-                    raise KeyError(operator)
-            else:
-                def handler(frame, read_left=read_left, read_right=read_right,
-                            operator=operator, compare=compare, ptr_compare=ptr_compare,
-                            out=out, next_pc=next_pc):
-                    left = read_left(frame)
-                    right = read_right(frame)
-                    left_is_ptr = type(left) is PtrVal
-                    if left_is_ptr and type(right) is PtrVal:
-                        result = ptr_compare(left, right, operator)
-                    else:
-                        result = compare(left.address if left_is_ptr else left.value,
-                                         right.address if type(right) is PtrVal else right.value)
-                    frame[out] = _TRUE if result else _FALSE
-                    return next_pc
+            handler = _make_cmp(machine, instr, dest if dest is not None else scratch,
+                                dest_type, slot_types, next_pc, inline_ptrcmp)
 
         elif op is Opcode.CALL:
             cost = call_cost
-            handler = _make_call(machine, instr, dest, next_pc)
+            handler = _make_call(machine, instr, dest, slot_types, next_pc)
 
         else:
             def handler(frame, op=op):
@@ -723,9 +1261,8 @@ def _make_fallthrough(next_pc: int):
     return lambda frame: next_pc
 
 
-def _make_binop(machine, instr, out: int, next_pc: int, propagate_provenance, ptr_to_int):
-    read_left = _reader(machine, instr.args[0])
-    read_right = _reader(machine, instr.args[1])
+def _make_binop(machine, instr, out: int, dest_type, slot_types, next_pc: int,
+                propagate_provenance, ptr_to_int):
     operator = instr.attrs["operator"]
     target = instr.ctype
     ctx = machine.ctx
@@ -735,22 +1272,104 @@ def _make_binop(machine, instr, out: int, next_pc: int, propagate_provenance, pt
     is_division = operator in ("/", "%")
     fast_op = _INT_BINOPS.get(operator)
     is_div_op = operator == "/"
-    small = _small_ints(width, signed) if not pointer_sized else None
     # Skipping the provenance hook for provenance-free operands is only valid
     # for the base implementation (no source -> None); a model that overrides
     # the hook gets called unconditionally.
     fast_noprov = type(machine.model).propagate_provenance is MemoryModel.propagate_provenance
 
     if fast_op is None and not is_division:
+        read_left = _reader(machine, instr.args[0], slot_types)
+        read_right = _reader(machine, instr.args[1], slot_types)
+
         def handler(frame):
             read_left(frame)
             read_right(frame)
             raise InterpreterError(f"unknown binary operator {operator!r}")
         return handler
 
-    def handler(frame):
-        left = read_left(frame)
-        right = read_right(frame)
+    raw_left = _raw_operand(machine, instr.args[0], slot_types)
+    raw_right = _raw_operand(machine, instr.args[1], slot_types)
+    if raw_left is not None and raw_right is not None and fast_noprov:
+        # Fully unboxed arithmetic: raw ints in, raw int out (when the
+        # destination slot is unboxed too), wrapping inlined from the mask
+        # tables.  No IntVal is ever constructed on this path.
+        mask = MASKS[width]
+        sign_min = SIGN_MIN[width] if signed else None
+        modulus = MODULI[width]
+        lkind, lpayload, _lt, llabel = raw_left
+        rkind, rpayload, _rt, rlabel = raw_right
+        table = None if (dest_type is not None or pointer_sized) else intern_table(width, signed)
+
+        def handler(frame, fast_op=fast_op, mask=mask, sign_min=sign_min, modulus=modulus,
+                    table=table, out=out, next_pc=next_pc):
+            if lkind == "slot":
+                a = frame[lpayload]
+                if type(a) is not int:
+                    raise InterpreterError(f"use of undefined temporary {llabel}")
+            else:
+                a = lpayload
+            if rkind == "slot":
+                b = frame[rpayload]
+                if type(b) is not int:
+                    raise InterpreterError(f"use of undefined temporary {rlabel}")
+            else:
+                b = rpayload
+            if is_division:
+                if b == 0:
+                    raise UndefinedBehaviorError("integer division by zero")
+                quotient = abs(a) // abs(b)
+                signed_quotient = quotient if (a >= 0) == (b >= 0) else -quotient
+                raw = signed_quotient if is_div_op else a - signed_quotient * b
+            else:
+                raw = fast_op(a, b)
+            wrapped = raw & mask
+            if sign_min is not None and wrapped >= sign_min:
+                wrapped -= modulus
+            if table is None:
+                if pointer_sized:
+                    frame[out] = IntVal(wrapped, width, signed, None, True)
+                else:
+                    frame[out] = wrapped
+            elif INTERN_MIN <= wrapped <= INTERN_MAX:
+                frame[out] = table[wrapped - INTERN_MIN]
+            else:
+                frame[out] = IntVal(wrapped, width, signed)
+            return next_pc
+
+        return handler
+
+    # Generic path: inline boxed Temp reads (the common case — e.g. summing
+    # call results) and fall back to reader closures for everything else.
+    def binop_operand(operand):
+        if type(operand) is Temp and operand.index not in slot_types:
+            return 0, operand.index + _FRAME_RESERVED, str(operand)
+        hoisted = _const_value(machine, operand) if type(operand) is Const else None
+        if hoisted is not None:
+            return 1, hoisted, None
+        return 2, _reader(machine, operand, slot_types), None
+
+    lmode, lsrc, llabel = binop_operand(instr.args[0])
+    rmode, rsrc, rlabel = binop_operand(instr.args[1])
+    table = intern_table(width, signed) if (not pointer_sized and fast_noprov) else None
+
+    def handler(frame, lmode=lmode, lsrc=lsrc, llabel=llabel, rmode=rmode,
+                rsrc=rsrc, rlabel=rlabel):
+        if lmode == 0:
+            left = frame[lsrc]
+            if left is UNDEF:
+                raise InterpreterError(f"use of undefined temporary {llabel}")
+        elif lmode == 1:
+            left = lsrc
+        else:
+            left = lsrc(frame)
+        if rmode == 0:
+            right = frame[rsrc]
+            if right is UNDEF:
+                raise InterpreterError(f"use of undefined temporary {rlabel}")
+        elif rmode == 1:
+            right = rsrc
+        else:
+            right = rsrc(frame)
         if type(left) is not IntVal:
             left = ptr_to_int(left, bytes=8, signed=False, pointer_sized=True)
         if type(right) is not IntVal:
@@ -766,22 +1385,94 @@ def _make_binop(machine, instr, out: int, next_pc: int, propagate_provenance, pt
         else:
             raw = fast_op(a, b)
         if fast_noprov and left.provenance is None and right.provenance is None:
-            if small is not None and 0 <= raw <= 256:
-                frame[out] = small[raw]
+            if table is not None and INTERN_MIN <= raw <= INTERN_MAX:
+                boxed = table[raw - INTERN_MIN]
+                frame[out] = boxed.value if dest_type is not None else boxed
                 return next_pc
             provenance = None  # matches the base model: no source, no provenance
         else:
             provenance = propagate_provenance(left, right, raw)
-        frame[out] = IntVal(raw, bytes=width, signed=signed, provenance=provenance,
-                            pointer_sized=pointer_sized)
+        result = IntVal(raw, bytes=width, signed=signed, provenance=provenance,
+                        pointer_sized=pointer_sized)
+        # An unboxed destination can only have been proven provenance-free;
+        # store the raw register representation.
+        frame[out] = result.value if dest_type is not None else result
         return next_pc
 
     return handler
 
 
-def _make_call(machine, instr, dest: int | None, next_pc: int):
+def _make_cmp(machine, instr, out: int, dest_type, slot_types, next_pc: int,
+              inline_ptrcmp: bool):
+    operator = instr.attrs["operator"]
+    compare = _CMP_FUNCS.get(operator)
+    ptr_compare = machine.model.ptr_compare
+    if compare is None:
+        read_left = _reader(machine, instr.args[0], slot_types)
+        read_right = _reader(machine, instr.args[1], slot_types)
+
+        def handler(frame, read_left=read_left, read_right=read_right, operator=operator):
+            read_left(frame)
+            read_right(frame)
+            raise KeyError(operator)
+        return handler
+
+    raw_left = _raw_operand(machine, instr.args[0], slot_types)
+    raw_right = _raw_operand(machine, instr.args[1], slot_types)
+    raw_dest = dest_type is not None
+    if raw_left is not None and raw_right is not None:
+        lkind, lpayload, _lt, llabel = raw_left
+        rkind, rpayload, _rt, rlabel = raw_right
+
+        def handler(frame, compare=compare, out=out, raw_dest=raw_dest, next_pc=next_pc):
+            if lkind == "slot":
+                a = frame[lpayload]
+                if type(a) is not int:
+                    raise InterpreterError(f"use of undefined temporary {llabel}")
+            else:
+                a = lpayload
+            if rkind == "slot":
+                b = frame[rpayload]
+                if type(b) is not int:
+                    raise InterpreterError(f"use of undefined temporary {rlabel}")
+            else:
+                b = rpayload
+            if raw_dest:
+                frame[out] = 1 if compare(a, b) else 0
+            else:
+                frame[out] = _TRUE if compare(a, b) else _FALSE
+            return next_pc
+
+        return handler
+
+    read_left = _reader(machine, instr.args[0], slot_types)
+    read_right = _reader(machine, instr.args[1], slot_types)
+
+    def handler(frame, read_left=read_left, read_right=read_right, compare=compare,
+                ptr_compare=ptr_compare, out=out, raw_dest=raw_dest, next_pc=next_pc):
+        left = read_left(frame)
+        right = read_right(frame)
+        left_is_ptr = type(left) is PtrVal
+        if left_is_ptr and type(right) is PtrVal and not inline_ptrcmp:
+            result = ptr_compare(left, right, operator)
+        else:
+            result = compare(left.address if left_is_ptr else left.value,
+                             right.address if type(right) is PtrVal else right.value)
+        if raw_dest:
+            frame[out] = 1 if result else 0
+        else:
+            frame[out] = _TRUE if result else _FALSE
+        return next_pc
+
+    return handler
+
+
+def _make_call(machine, instr, dest: int | None, slot_types, next_pc: int):
     callee = instr.attrs["callee"]
-    arg_readers = tuple(_reader(machine, arg) for arg in instr.args)
+    # Call arguments cross an ABI boundary: raw registers are boxed by their
+    # compiled readers (through the intern pool), so callees, intrinsics and
+    # model hooks only ever see IntVal/PtrVal.
+    arg_readers = tuple(_reader(machine, arg, slot_types) for arg in instr.args)
     function = machine.module.functions.get(callee)
     result_type = instr.ctype
 
@@ -806,22 +1497,91 @@ def _make_call(machine, instr, dest: int | None, next_pc: int):
 
             return coerce
 
-        plan = tuple(
-            (reader, make_coercer(params[i][1]) if i < len(params) else None)
-            for i, reader in enumerate(arg_readers)
-        )
-        machine_call = machine._call
+        def compose(index, reader):
+            param_type = params[index][1] if index < len(params) else None
+            if not isinstance(param_type, PointerType):
+                return reader
+            appliers = _qualifier_appliers(machine, param_type)
+            operand = instr.args[index]
+            if not appliers and type(operand) is Temp and operand.index not in slot_types:
+                # The dominant case — a boxed register passed to an
+                # unqualified pointer parameter — reads and coerces in one
+                # closure (same outcomes as reader + coercer separately).
+                slot = operand.index + _FRAME_RESERVED
+                label = str(operand)
 
-        def handler(frame):
-            arguments = []
-            append = arguments.append
-            for reader, coerce in plan:
-                value = reader(frame)
-                append(coerce(value) if coerce is not None else value)
-            result = machine_call(function, arguments)
-            if dest is not None:
-                frame[dest] = result
-            return next_pc
+                def read_ptr_arg(frame, slot=slot, label=label):
+                    value = frame[slot]
+                    if type(value) is PtrVal:
+                        return value
+                    if type(value) is IntVal:
+                        return int_to_ptr(value, allocator)
+                    if value is UNDEF:
+                        raise InterpreterError(f"use of undefined temporary {label}")
+                    return value
+
+                return read_ptr_arg
+            coerce = make_coercer(param_type)
+            return lambda frame, reader=reader, coerce=coerce: coerce(reader(frame))
+
+        readers = tuple(compose(i, reader) for i, reader in enumerate(arg_readers))
+        machine_call = machine._call
+        arity = len(readers)
+        # The callee's compiled form is resolved lazily on first call (eager
+        # compilation could recurse through the call graph) and then pinned
+        # in this cell, skipping the per-call code-cache lookup.
+        code_cell: list = []
+        code_append = code_cell.append
+        code_for = machine._code_for
+
+        if arity == 0:
+            def handler(frame):
+                if not code_cell:
+                    code_append(code_for(function))
+                result = machine_call(function, [], code_cell[0])
+                if dest is not None:
+                    frame[dest] = result
+                return next_pc
+        elif arity == 1:
+            read0, = readers
+
+            def handler(frame):
+                if not code_cell:
+                    code_append(code_for(function))
+                result = machine_call(function, [read0(frame)], code_cell[0])
+                if dest is not None:
+                    frame[dest] = result
+                return next_pc
+        elif arity == 2:
+            read0, read1 = readers
+
+            def handler(frame):
+                if not code_cell:
+                    code_append(code_for(function))
+                result = machine_call(function, [read0(frame), read1(frame)], code_cell[0])
+                if dest is not None:
+                    frame[dest] = result
+                return next_pc
+        elif arity == 3:
+            read0, read1, read2 = readers
+
+            def handler(frame):
+                if not code_cell:
+                    code_append(code_for(function))
+                result = machine_call(function, [read0(frame), read1(frame), read2(frame)],
+                                      code_cell[0])
+                if dest is not None:
+                    frame[dest] = result
+                return next_pc
+        else:
+            def handler(frame):
+                if not code_cell:
+                    code_append(code_for(function))
+                result = machine_call(function, [read(frame) for read in readers],
+                                      code_cell[0])
+                if dest is not None:
+                    frame[dest] = result
+                return next_pc
 
         return handler
 

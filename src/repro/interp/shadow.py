@@ -1,0 +1,151 @@
+"""Range-indexed shadow table for stored-pointer metadata.
+
+When the interpreter stores a pointer (or a pointer-sized integer carrying
+provenance) to memory, the raw 64-bit address goes into
+:class:`~repro.sim.memory.TaggedMemory` and the full runtime value is
+remembered here, keyed by the store address.  Memory models then decide how a
+later load reconciles the raw bytes with this metadata (tagged memory vs.
+look-aside tables; see :mod:`repro.interp.models.base`).
+
+The table used to be a plain ``dict``; every range operation — the garbage
+collector tracing a heap object, the relocation sweep, ``memcpy`` moving
+metadata — had to scan *all* entries (O(total shadow) per object/copy).
+:class:`ShadowTable` keeps the flat ``entries`` dict for O(1) loads and
+stores, plus a per-page index (``pages``: page index -> set of entry
+addresses) so range queries cost O(pages touched + entries in range) instead.
+
+Hot paths (the predecoded store handlers) intentionally reach into
+``entries``/``pages`` directly and maintain both inline — see
+``repro/interp/predecode.py``; the methods here serve the colder callers
+(garbage collector, ``copy_memory``, tests) and keep dict-style compatibility
+for existing introspection code.
+"""
+
+from __future__ import annotations
+
+#: entries are bucketed by 4 KiB page (matching TaggedMemory.PAGE_SIZE).
+PAGE_SHIFT = 12
+
+
+class ShadowTable:
+    """Pointer-metadata table with a per-page range index."""
+
+    __slots__ = ("entries", "pages")
+
+    def __init__(self) -> None:
+        #: address -> stored PtrVal / IntVal-with-provenance (source of truth).
+        self.entries: dict[int, object] = {}
+        #: page index -> set of entry addresses within that page.  Sets may
+        #: linger empty after deletions; that only costs a skipped lookup.
+        self.pages: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+
+    def set(self, address: int, value: object) -> None:
+        self.entries[address] = value
+        page = address >> PAGE_SHIFT
+        bucket = self.pages.get(page)
+        if bucket is None:
+            self.pages[page] = {address}
+        else:
+            bucket.add(address)
+
+    def discard(self, address: int) -> None:
+        if self.entries.pop(address, None) is not None:
+            bucket = self.pages.get(address >> PAGE_SHIFT)
+            if bucket is not None:
+                bucket.discard(address)
+
+    def pop(self, address: int, default: object = None) -> object:
+        value = self.entries.pop(address, default)
+        bucket = self.pages.get(address >> PAGE_SHIFT)
+        if bucket is not None:
+            bucket.discard(address)
+        return value
+
+    # ------------------------------------------------------------------
+    # Range operations
+    # ------------------------------------------------------------------
+
+    def addresses_in_range(self, start: int, stop: int) -> list[int]:
+        """Sorted entry addresses in [start, stop)."""
+        if not self.entries or stop <= start:
+            return []
+        pages = self.pages
+        out = []
+        for page in range((start >> PAGE_SHIFT), ((stop - 1) >> PAGE_SHIFT) + 1):
+            bucket = pages.get(page)
+            if bucket:
+                for address in bucket:
+                    if start <= address < stop:
+                        out.append(address)
+        out.sort()
+        return out
+
+    def entries_in_range(self, start: int, stop: int) -> list[tuple[int, object]]:
+        """Sorted (address, value) pairs for entries in [start, stop)."""
+        entries = self.entries
+        return [(address, entries[address])
+                for address in self.addresses_in_range(start, stop)]
+
+    def clear_range(self, start: int, stop: int) -> None:
+        """Delete every entry in [start, stop)."""
+        for address in self.addresses_in_range(start, stop):
+            del self.entries[address]
+            self.pages[address >> PAGE_SHIFT].discard(address)
+
+    # ------------------------------------------------------------------
+    # dict-style compatibility (cold paths, tests, debugging)
+    # ------------------------------------------------------------------
+
+    def __contains__(self, address: int) -> bool:
+        return address in self.entries
+
+    def __getitem__(self, address: int) -> object:
+        return self.entries[address]
+
+    def __setitem__(self, address: int, value: object) -> None:
+        self.set(address, value)
+
+    def __delitem__(self, address: int) -> None:
+        del self.entries[address]
+        bucket = self.pages.get(address >> PAGE_SHIFT)
+        if bucket is not None:
+            bucket.discard(address)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def get(self, address: int, default: object = None) -> object:
+        return self.entries.get(address, default)
+
+    def items(self):
+        return self.entries.items()
+
+    def keys(self):
+        return self.entries.keys()
+
+    def values(self):
+        return self.entries.values()
+
+    def update(self, mapping) -> None:
+        for address, value in (mapping.items() if hasattr(mapping, "items") else mapping):
+            self.set(address, value)
+
+    def check_index(self) -> bool:
+        """Verify the page index covers exactly the entries (test helper)."""
+        indexed = set()
+        for page, bucket in self.pages.items():
+            for address in bucket:
+                if address >> PAGE_SHIFT != page:
+                    return False
+                indexed.add(address)
+        return indexed == set(self.entries)

@@ -14,15 +14,21 @@ is what lets the different memory models disagree about the pointer idioms:
   (or ignore) these fields according to their own rules.
 
 Both classes are allocated millions of times per simulated run, so they are
-``slots=True`` dataclasses, width normalisation uses precomputed mask tables
-instead of per-value shift arithmetic, and the ``moved_*``/``with_*`` helpers
-construct replacements directly rather than going through
-:func:`dataclasses.replace`.
+hand-written ``__slots__`` classes rather than (frozen) dataclasses: a frozen
+dataclass routes every field assignment through ``object.__setattr__``, which
+made ``IntVal``/``PtrVal`` construction the single largest allocation cost in
+pointer-heavy workloads.  They remain immutable *by convention* — nothing in
+the interpreter mutates a value after construction, which is what makes the
+interning below (and the predecoded engine's unboxed register scheme, see
+:mod:`repro.interp.predecode`) safe.
+
+Hot scalar arithmetic avoids boxing entirely: the predecoded interpreter
+keeps provenance-free scalars as raw Python ints and boxes them through
+:func:`box_int` / :func:`intern_table` only at ABI boundaries (calls into
+non-predecoded code, traps, shadow-table entries).
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.common.bitops import sign_extend, truncate
 
@@ -31,44 +37,61 @@ _MASKS = tuple((1 << (8 * i)) - 1 for i in range(9))
 _SIGN_MIN = tuple(1 << (8 * i - 1) if i else 0 for i in range(9))
 _MODULI = tuple(1 << (8 * i) for i in range(9))
 
+#: public aliases used by the predecode compiler's inline masking.
+MASKS = _MASKS
+SIGN_MIN = _SIGN_MIN
+MODULI = _MODULI
 
-@dataclass(frozen=True, slots=True)
+
 class Provenance:
     """Where an integer value came from, if it was derived from a pointer."""
 
-    pointer: "PtrVal"
-    #: True once integer arithmetic has been performed on the value.
-    modified: bool = False
+    __slots__ = ("pointer", "modified")
+
+    def __init__(self, pointer: "PtrVal", modified: bool = False) -> None:
+        self.pointer = pointer
+        #: True once integer arithmetic has been performed on the value.
+        self.modified = modified
 
     def touched(self) -> "Provenance":
-        return Provenance(pointer=self.pointer, modified=True)
+        return Provenance(self.pointer, True)
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not Provenance:
+            return NotImplemented
+        return self.pointer == other.pointer and self.modified == other.modified
+
+    def __hash__(self) -> int:
+        return hash((self.pointer, self.modified))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Provenance(pointer={self.pointer!r}, modified={self.modified})"
 
 
-@dataclass(frozen=True, slots=True)
 class IntVal:
-    """A fixed-width integer value."""
+    """A fixed-width integer value (immutable by convention)."""
 
-    value: int
-    bytes: int = 8
-    signed: bool = True
-    provenance: Provenance | None = None
-    #: True when the C type was intptr_t/intcap_t: capability ABIs represent
-    #: these as capabilities, so they round-trip pointers losslessly.
-    pointer_sized: bool = False
+    __slots__ = ("value", "bytes", "signed", "provenance", "pointer_sized")
 
-    def __post_init__(self) -> None:
-        value = self.value
-        width = self.bytes
-        if 0 < width <= 8:
-            wrapped = value & _MASKS[width]
-            if self.signed and wrapped >= _SIGN_MIN[width]:
-                wrapped -= _MODULI[width]
+    def __init__(self, value: int, bytes: int = 8, signed: bool = True,
+                 provenance: Provenance | None = None,
+                 pointer_sized: bool = False) -> None:
+        if 0 < bytes <= 8:
+            value &= _MASKS[bytes]
+            if signed and value >= _SIGN_MIN[bytes]:
+                value -= _MODULI[bytes]
         else:
-            wrapped = truncate(value, width * 8)
-            if self.signed:
-                wrapped = sign_extend(wrapped, width * 8)
-        if wrapped != value:
-            object.__setattr__(self, "value", wrapped)
+            value = truncate(value, bytes * 8)
+            if signed:
+                value = sign_extend(value, bytes * 8)
+        self.value = value
+        self.bytes = bytes
+        self.signed = signed
+        self.provenance = provenance
+        #: True when the C type was intptr_t/intcap_t: capability ABIs
+        #: represent these as capabilities, so they round-trip pointers
+        #: losslessly.
+        self.pointer_sized = pointer_sized
 
     @property
     def unsigned(self) -> int:
@@ -83,8 +106,7 @@ class IntVal:
         return self.value != 0
 
     def with_value(self, value: int, *, provenance: Provenance | None = None) -> "IntVal":
-        return IntVal(value=value, bytes=self.bytes, signed=self.signed,
-                      provenance=provenance, pointer_sized=self.pointer_sized)
+        return IntVal(value, self.bytes, self.signed, provenance, self.pointer_sized)
 
     def converted(self, *, bytes: int, signed: bool, pointer_sized: bool = False) -> "IntVal":
         """Integer conversion; narrowing drops provenance information only if
@@ -92,8 +114,22 @@ class IntVal:
         provenance = self.provenance
         if bytes < self.bytes:
             provenance = provenance.touched() if provenance else None
-        return IntVal(value=self.value, bytes=bytes, signed=signed,
-                      provenance=provenance, pointer_sized=pointer_sized)
+        return IntVal(self.value, bytes, signed, provenance, pointer_sized)
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not IntVal:
+            return NotImplemented
+        return (self.value == other.value and self.bytes == other.bytes
+                and self.signed == other.signed
+                and self.provenance == other.provenance
+                and self.pointer_sized == other.pointer_sized)
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.bytes, self.signed, self.pointer_sized))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"IntVal(value={self.value}, bytes={self.bytes}, signed={self.signed}, "
+                f"provenance={self.provenance!r}, pointer_sized={self.pointer_sized})")
 
     def __str__(self) -> str:  # pragma: no cover - debugging helper
         return f"i{self.bytes * 8}:{self.value}"
@@ -107,9 +143,8 @@ PERM_WRITE = 2
 PERM_ALL = PERM_READ | PERM_WRITE
 
 
-@dataclass(frozen=True, slots=True)
 class PtrVal:
-    """A pointer value.
+    """A pointer value (immutable by convention).
 
     ``obj`` is the :class:`~repro.interp.heap.HeapObject` the pointer was
     derived from (None for NULL and for forged pointers), ``base``/``length``
@@ -119,13 +154,18 @@ class PtrVal:
     dereferenceable but unchecked.
     """
 
-    address: int = 0
-    base: int = 0
-    length: int = 0
-    obj: object | None = None
-    perms: int = PERM_ALL
-    tag: bool = True
-    checked: bool = True
+    __slots__ = ("address", "base", "length", "obj", "perms", "tag", "checked")
+
+    def __init__(self, address: int = 0, base: int = 0, length: int = 0,
+                 obj: object | None = None, perms: int = PERM_ALL,
+                 tag: bool = True, checked: bool = True) -> None:
+        self.address = address
+        self.base = base
+        self.length = length
+        self.obj = obj
+        self.perms = perms
+        self.tag = tag
+        self.checked = checked
 
     @property
     def is_null(self) -> bool:
@@ -168,6 +208,26 @@ class PtrVal:
     def unchecked(self) -> "PtrVal":
         return PtrVal(self.address, self.base, self.length, self.obj, self.perms, self.tag, False)
 
+    def __eq__(self, other) -> bool:
+        if type(other) is not PtrVal:
+            return NotImplemented
+        return (self.address == other.address and self.base == other.base
+                and self.length == other.length and self.obj is other.obj
+                and self.perms == other.perms and self.tag == other.tag
+                and self.checked == other.checked)
+
+    def __hash__(self) -> int:
+        # Like the frozen dataclass this replaced: hashable when every field
+        # is (``obj`` is a HeapObject for object-backed pointers, which is
+        # unhashable — so only NULL/forged pointers hash, as before).
+        return hash((self.address, self.base, self.length, self.obj,
+                     self.perms, self.tag, self.checked))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"PtrVal(address={self.address:#x}, base={self.base:#x}, "
+                f"length={self.length}, obj={self.obj!r}, perms={self.perms}, "
+                f"tag={self.tag}, checked={self.checked})")
+
     def __str__(self) -> str:  # pragma: no cover - debugging helper
         flags = ("t" if self.tag else "-") + ("c" if self.checked else "-")
         return f"ptr[{flags}]@{self.address:#x} [{self.base:#x},{self.top:#x})"
@@ -175,3 +235,39 @@ class PtrVal:
 
 #: The canonical null pointer.
 NULL_PTR = PtrVal(address=0, base=0, length=0, obj=None, perms=0, tag=False)
+
+
+# ---------------------------------------------------------------------------
+# Interning
+# ---------------------------------------------------------------------------
+#
+# Loads, arithmetic results and loop counters overwhelmingly fall in a small
+# value range; sharing one IntVal per (value, width, signedness) removes the
+# bulk of the interpreter's remaining boxing cost.  Values are immutable by
+# convention, so sharing is safe.  Each table entry is exactly what the
+# constructor would have produced for that *raw* value (including wrapping,
+# e.g. ``IntVal(-5, 2, signed=False)``), so ``table[raw - INTERN_MIN]`` is a
+# drop-in replacement for ``IntVal(raw, width, signed)``.
+
+INTERN_MIN = -1024
+INTERN_MAX = 8192
+
+_intern_tables: dict[tuple[int, bool], tuple] = {}
+
+
+def intern_table(width: int, signed: bool) -> tuple:
+    """Shared IntVal instances for raw values in [INTERN_MIN, INTERN_MAX]."""
+    key = (width, signed)
+    table = _intern_tables.get(key)
+    if table is None:
+        table = tuple(IntVal(v, width, signed)
+                      for v in range(INTERN_MIN, INTERN_MAX + 1))
+        _intern_tables[key] = table
+    return table
+
+
+def box_int(raw: int, width: int, signed: bool) -> IntVal:
+    """Box a raw (provenance-free) scalar, sharing interned instances."""
+    if INTERN_MIN <= raw <= INTERN_MAX:
+        return _intern_tables.get((width, signed), intern_table(width, signed))[raw - INTERN_MIN]
+    return IntVal(raw, width, signed)

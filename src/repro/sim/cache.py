@@ -59,6 +59,9 @@ class CacheLevel:
     how many cycles each access costs.
     """
 
+    __slots__ = ("config", "name", "stats", "_sets", "_clock", "_line_bytes",
+                 "_num_sets", "_associativity")
+
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.config = config
         self.name = name
@@ -73,9 +76,15 @@ class CacheLevel:
         self._associativity = config.associativity
 
     def reset(self) -> None:
-        """Drop all cached lines and statistics."""
-        self.stats = AccessStats()
-        self._sets = [dict() for _ in range(self.config.num_sets)]
+        """Drop all cached lines and statistics.
+
+        Mutates in place (rather than rebinding) so that references captured
+        by the predecoded interpreter's inline L1 path stay valid.
+        """
+        stats = self.stats
+        stats.reads = stats.writes = stats.hits = stats.misses = 0
+        for cache_set in self._sets:
+            cache_set.clear()
         self._clock = 0
 
     def access(self, address: int, *, is_write: bool) -> bool:
@@ -127,6 +136,9 @@ class HierarchyStats:
 
 class MemoryHierarchy:
     """Two-level cache + DRAM latency model matching the evaluation platform."""
+
+    __slots__ = ("timing", "l1", "l2", "dram_accesses", "stall_cycles",
+                 "_l1_hit_latency", "_l2_hit_latency", "_dram_latency")
 
     def __init__(self, timing: TimingConfig | None = None) -> None:
         self.timing = timing or TimingConfig()
@@ -191,6 +203,40 @@ class MemoryHierarchy:
         for line_address in l1.lines_touched(address, size):
             total += self._access_line(line_address, is_write=is_write)
         self.stall_cycles += total
+        return total
+
+    def access_run(self, address: int, count: int) -> int:
+        """Charge ``count`` consecutive 1-byte reads starting at ``address``.
+
+        Observationally identical to calling ``access(a, 1)`` for every byte:
+        after the first byte of a line is touched, the remaining bytes of
+        that line are guaranteed L1 hits whose only effects are the hit/read
+        counters, the clock, and the hit latency — the delete+reinsert
+        recency refresh is a no-op for a line that is already most recent.
+        This turns the per-byte loops of ``read_cstring``/string intrinsics
+        into O(lines) instead of O(bytes) without changing a single counter.
+        """
+        if count <= 0:
+            return 0
+        total = 0
+        l1 = self.l1
+        line_bytes = l1._line_bytes
+        stats = l1.stats
+        hit_latency = self._l1_hit_latency
+        end = address + count
+        while address < end:
+            line_end = address - (address % line_bytes) + line_bytes
+            chunk = (line_end if line_end < end else end) - address
+            total += self.access(address, 1, is_write=False)
+            extra = chunk - 1
+            if extra:
+                stats.reads += extra
+                stats.hits += extra
+                l1._clock += extra
+                bulk = extra * hit_latency
+                self.stall_cycles += bulk
+                total += bulk
+            address += chunk
         return total
 
     def _access_line(self, address: int, *, is_write: bool) -> int:

@@ -40,6 +40,8 @@ class TaggedMemory:
     _PAGE_MASK = PAGE_SIZE - 1
     assert PAGE_SIZE == 1 << _PAGE_SHIFT, "PAGE_SIZE must be a power of two"
 
+    __slots__ = ("_size", "_pages", "_tags", "_cap_values")
+
     def __init__(self, size: int) -> None:
         if size <= 0:
             raise SimulationError("memory size must be positive")

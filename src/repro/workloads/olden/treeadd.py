@@ -15,6 +15,13 @@ from repro.workloads.harness import WorkloadRun, run_workload
 DEFAULT_DEPTH = 10
 DEFAULT_PASSES = 3
 
+#: the closer-to-paper problem size enabled by the interpreter perf work
+#: (PR 2): 4095 heap nodes instead of 1023.  Golden metrics for this size are
+#: pinned in tests/test_scaled_workloads.py; scale via
+#: ``treeadd.source(depth=treeadd.DEEP_DEPTH, passes=treeadd.DEEP_PASSES)``.
+DEEP_DEPTH = 12
+DEEP_PASSES = 2
+
 _TEMPLATE = r"""
 struct tree {
     struct tree *left;

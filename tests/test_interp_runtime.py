@@ -141,6 +141,42 @@ class TestMachineBasics:
         assert result.memory_accesses > 64
 
 
+class TestUnoptimizedPrograms:
+    """The predecoded engine must not depend on the optimizer's constant
+    folding: unoptimized IR feeds constants straight into casts, unary ops
+    and unboxed register slots (regression for the slot-type analysis)."""
+
+    SOURCE = """
+    int main(void) {
+        int x = (int)300;
+        int y = -(5);
+        long wide = (long)x;
+        int z = x + y + (int)wide - x;
+        mini_output_int(z);
+        return z;
+    }
+    """
+
+    @pytest.mark.parametrize("optimize", [True, False])
+    def test_const_casts_and_unops(self, optimize: bool):
+        module = compile_for_model(self.SOURCE, "pdp11", optimize=optimize)
+        result = AbstractMachine(module, get_model("pdp11")).run()
+        assert not result.trapped, result.trap
+        assert result.exit_code == 295
+        assert result.output == b"295\n"
+
+    def test_budget_trap_instruction_count_is_exact(self):
+        # Fused pairs must re-check the budget before the consumer half runs:
+        # a budget trap always reports max_instructions + 1 executed.
+        source = "int main(void){ int i; int t=0; for(i=0;i<20;i++){ t+=i; } return t; }"
+        for budget in (5, 9, 17, 33, 57):
+            module = compile_for_model(source, "pdp11")
+            result = AbstractMachine(module, get_model("pdp11"),
+                                     max_instructions=budget).run()
+            assert result.trapped
+            assert result.instructions == budget + 1
+
+
 class TestMemorySafetyEnforcement:
     def test_heap_overflow_trapped_by_cheri(self):
         source = """

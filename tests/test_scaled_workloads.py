@@ -1,0 +1,44 @@
+"""Golden metrics for the scaled (closer-to-paper) workload configurations.
+
+The interpreter perf PRs exist so the paper's figures can be produced at
+realistic problem sizes.  This test pins the simulated metrics of the first
+scaled configuration — Olden treeadd at ``DEEP_DEPTH``/``DEEP_PASSES``
+(4095 heap nodes, two summation passes) — under the two benchmark models.
+
+The numbers below were recorded from **both** the current engine and the
+pre-optimization seed interpreter (commit 607eec0, run from a worktree):
+they agreed bit-for-bit, so this golden extends the observational-identity
+guarantee of ``tests/test_metrics_golden.py`` to a problem size the seed
+interpreter was too slow to gate CI on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import run_under_model
+from repro.workloads.olden import treeadd
+
+GOLDEN = {
+    "pdp11": dict(instructions=356347, cycles=750098, memory_accesses=135166,
+                  allocations=28674, checkpoints=[8190], exit_code=0, trap=None),
+    "cheri_v3": dict(instructions=356347, cycles=1194272, memory_accesses=135166,
+                     allocations=28674, checkpoints=[8190], exit_code=0, trap=None),
+}
+
+
+@pytest.mark.parametrize("model", sorted(GOLDEN))
+def test_deep_treeadd_metrics(model: str) -> None:
+    result = run_under_model(
+        treeadd.source(depth=treeadd.DEEP_DEPTH, passes=treeadd.DEEP_PASSES), model
+    )
+    observed = dict(
+        instructions=result.instructions,
+        cycles=result.cycles,
+        memory_accesses=result.memory_accesses,
+        allocations=result.allocations,
+        checkpoints=result.checkpoints,
+        exit_code=result.exit_code,
+        trap=type(result.trap).__name__ if result.trap else None,
+    )
+    assert observed == GOLDEN[model]
