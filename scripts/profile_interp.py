@@ -12,6 +12,14 @@ Usage::
     PYTHONPATH=src python scripts/profile_interp.py dhrystone pdp11
     PYTHONPATH=src python scripts/profile_interp.py tcpdump cheri_v3 --sort tottime
     PYTHONPATH=src python scripts/profile_interp.py treeadd pdp11 --top 40
+    PYTHONPATH=src python scripts/profile_interp.py dhrystone pdp11 --blocks
+
+``--blocks`` reports per-block dispatch residency instead of cProfile rows:
+for every basic-block superinstruction, how often it ran, how many IR
+instructions each execution covers, and the share of all executed
+instructions it absorbed — i.e. where the dispatch loop no longer spends
+round-trips.  The machine records this only when profiling is requested, so
+benchmark runs stay instrumentation-free.
 """
 
 from __future__ import annotations
@@ -75,27 +83,60 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sort", default="cumulative",
                         choices=["cumulative", "tottime", "ncalls"],
                         help="pstats sort key (default cumulative)")
+    parser.add_argument("--blocks", action="store_true",
+                        help="report per-superinstruction dispatch residency "
+                             "instead of cProfile output")
     args = parser.parse_args(argv)
 
     source = WORKLOADS[args.workload]()
     module = compile_for_model(source, args.model)
     machine = AbstractMachine(module, get_model(args.model), max_instructions=200_000_000)
 
+    if args.blocks:
+        machine.block_profile = {}
+
     profiler = cProfile.Profile()
     start = time.perf_counter()
-    profiler.enable()
+    if not args.blocks:
+        profiler.enable()
     result = machine.run()
-    profiler.disable()
+    if not args.blocks:
+        profiler.disable()
     elapsed = time.perf_counter() - start
 
     if result.trapped:
         print(f"workload trapped: {result.trap!r}", file=sys.stderr)
         return 1
+    if args.blocks:
+        return _report_blocks(args, machine, result, elapsed)
     print(f"{args.workload}/{args.model}: {result.instructions} instructions in "
           f"{elapsed:.3f}s under profiler "
           f"({result.instructions / elapsed:,.0f} insns/s; profiling overhead included)")
     stats = pstats.Stats(profiler)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+def _report_blocks(args, machine, result, elapsed: float) -> int:
+    """Print the per-block dispatch-residency table (``--blocks``)."""
+    profile = machine.block_profile or {}
+    total = result.instructions or 1
+    rows = []
+    for (function, pc), info in profile.items():
+        executions = info["count"][0]
+        covered = executions * info["ir"]
+        rows.append((covered, function, pc, info["entries"], info["ir"], executions))
+    rows.sort(reverse=True)
+    covered_total = sum(row[0] for row in rows)
+    print(f"{args.workload}/{args.model}: {result.instructions} instructions in "
+          f"{elapsed:.3f}s ({result.instructions / elapsed:,.0f} insns/s)")
+    print(f"superinstruction residency: {covered_total}/{total} instructions "
+          f"({covered_total / total:.1%}) ran inside {len(rows)} compiled blocks\n")
+    print(f"{'block':<28}{'entries':>8}{'ir':>5}{'execs':>12}{'insns':>12}{'share':>8}")
+    print("-" * 73)
+    for covered, function, pc, entries, n_ir, executions in rows[: args.top]:
+        print(f"{function + '+' + str(pc):<28}{entries:>8}{n_ir:>5}"
+              f"{executions:>12}{covered:>12}{covered / total:>7.1%}")
     return 0
 
 

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Refresh results/BENCH_interp.json: the interpreter-throughput benchmark
+# documented in PERFORMANCE.md.  The `perf` marker is deselected from the
+# tier-1 run, so this explicit -m perf invocation is the only way it runs.
+#
+# Usage: scripts/run_bench.sh [extra pytest args]
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m pytest benchmarks/test_perf_interp.py -m perf -q "$@"

@@ -27,14 +27,28 @@ def zero_extend(value: int, bits: int) -> int:
 
 
 def sign_extend(value: int, bits: int) -> int:
-    """Sign-extend a ``bits``-wide value to a Python int."""
+    """Sign-extend a ``bits``-wide value to a Python int.
+
+    A zero-width value has no bits and therefore no sign: the result is 0
+    (matching :func:`truncate`, whose zero-width result is also 0).  Negative
+    widths are rejected explicitly rather than surfacing as a confusing
+    ``ValueError: negative shift count`` from ``1 << (bits - 1)``.
+    """
+    if bits < 0:
+        raise ValueError(f"bit width must be non-negative, got {bits}")
+    if bits == 0:
+        return 0
     value = truncate(value, bits)
     sign_bit = 1 << (bits - 1)
     return (value ^ sign_bit) - sign_bit
 
 
 def to_signed(value: int, bits: int = 64) -> int:
-    """Interpret the low ``bits`` bits of ``value`` as a signed integer."""
+    """Interpret the low ``bits`` bits of ``value`` as a signed integer.
+
+    Zero-width and negative widths follow :func:`sign_extend`: 0 for width 0,
+    ``ValueError`` with an explicit message for negative widths.
+    """
     return sign_extend(value, bits)
 
 

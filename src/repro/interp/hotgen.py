@@ -34,6 +34,15 @@ _PACKERS = {key: struct.Struct("<" + code).pack_into
 #: shape -> compiled ``make(b)`` function.
 _MAKERS: dict[tuple, object] = {}
 
+#: ("load"/"store", shape) -> raw handler body lines, built once per shape.
+#: NOTE: the block compiler's scalar-memory inliner
+#: (predecode._emit_block/emit_scalar_mem) emits its own copy of the scalar
+#: load/store semantics with block-local naming — a change to the access
+#: check, timing, shadow-clear or page-access logic here must be mirrored
+#: there (tests/test_superinstructions.py pins the two paths against each
+#: other across all seven models).
+_BODIES: dict[tuple, list] = {}
+
 #: names unpacked from the binding dict into ``make`` locals; the handler
 #: closure only captures the ones its generated body actually references.
 _BINDING_NAMES = (
@@ -170,19 +179,27 @@ def _emit_timing(lines, collect_timing, inline_cache, is_write):
 
 
 def load_maker(shape: tuple):
-    """``make(b) -> handler`` for a LOAD of the given shape.
+    """``make(b) -> handler`` for a LOAD of the given shape."""
+    make = _MAKERS.get(shape)
+    if make is not None:
+        return make
+    return _compile(shape, load_body(shape))
+
+
+def load_body(shape: tuple) -> list:
+    """Raw handler body lines for a LOAD of the given shape.
 
     shape = (kind, pslot_inline, dkind, extra, check_kind, collect_timing,
              inline_cache, uses_shadow, memo, inline_reconcile, n_appliers)
     with kind in {"ptr", "psint", "raw", "box"}.
     """
-    make = _MAKERS.get(shape)
-    if make is not None:
-        return make
+    cached = _BODIES.get(("load", shape))
+    if cached is not None:
+        return cached
     (kind, pslot_inline, dkind, extra, check_kind, collect_timing,
      inline_cache, uses_shadow, memo, inline_reconcile, n_appliers,
      fast_mem) = shape
-    lines = ["    def handler(frame):"]
+    lines = []
     _emit_prologue(lines, pslot_inline, dkind, extra)
     _emit_check(lines, check_kind, dkind, False)
     lines.append("        machine.memory_accesses += 1")
@@ -215,11 +232,29 @@ def load_maker(shape: tuple):
             "        else:",
             "            frame[out] = IntVal(raw, bytes=size, signed=signed)",
         ]
+    elif not uses_shadow:
+        # Shadow-free models (PDP-11, Relaxed): the entry is statically None,
+        # so the reconciliation branches fold away entirely.
+        if kind == "ptr":
+            if memo:
+                lines += [
+                    "        loaded = ptr_memo_get(raw)",
+                    "        if loaded is None:",
+                    "            loaded = ptr_memo[raw] = load_ptr_no_meta(raw, allocator)",
+                ]
+            else:
+                lines.append("        loaded = load_ptr_no_meta(raw, allocator)")
+            if n_appliers:
+                lines += [
+                    "        for apply in appliers:",
+                    "            loaded = apply(loaded)",
+                ]
+            lines.append("        frame[out] = loaded")
+        else:  # psint
+            lines.append(
+                "        frame[out] = IntVal(raw, bytes=8, signed=signed, pointer_sized=True)")
     else:
-        if uses_shadow:
-            lines.append("        entry = shadow_get(address)")
-        else:
-            lines.append("        entry = None")
+        lines.append("        entry = shadow_get(address)")
         if kind == "ptr":
             reconstruct = []
             if memo:
@@ -262,12 +297,20 @@ def load_maker(shape: tuple):
                 "            frame[out] = IntVal(raw, bytes=8, signed=signed, pointer_sized=True)",
             ]
     lines.append("        return next_pc")
-    lines.append("    return handler")
-    return _compile(shape, lines)
+    _BODIES[("load", shape)] = lines
+    return lines
 
 
 def store_maker(shape: tuple):
-    """``make(b) -> handler`` for a STORE of the given shape.
+    """``make(b) -> handler`` for a STORE of the given shape."""
+    make = _MAKERS.get(shape)
+    if make is not None:
+        return make
+    return _compile(shape, store_body(shape))
+
+
+def store_body(shape: tuple) -> list:
+    """Raw handler body lines for a STORE of the given shape.
 
     shape = (kind, pslot_inline, dkind, extra, check_kind, collect_timing,
              inline_cache, clear_shadow, uses_shadow, value_mode, coerce,
@@ -275,13 +318,13 @@ def store_maker(shape: tuple):
     with kind in {"ptr", "scalar"}; value_mode in (0 const, 1 raw slot,
     2 boxed reader) for scalar stores (ptr stores always use the reader).
     """
-    make = _MAKERS.get(shape)
-    if make is not None:
-        return make
+    cached = _BODIES.get(("store", shape))
+    if cached is not None:
+        return cached
     (kind, pslot_inline, dkind, extra, check_kind, collect_timing,
      inline_cache, clear_shadow, uses_shadow, value_mode, coerce,
      wide_span, fast_mem) = shape
-    lines = ["    def handler(frame):"]
+    lines = []
     _emit_prologue(lines, pslot_inline, dkind, extra)
     if kind == "ptr":
         lines.append("        value = read_value(frame)")
@@ -359,14 +402,47 @@ def store_maker(shape: tuple):
             "            write_small(address, size, raw)",
         ]
     lines.append("        return next_pc")
-    lines.append("    return handler")
-    return _compile(shape, lines)
+    _BODIES[("store", shape)] = lines
+    return lines
+
+
+#: block source text -> compiled code object.  Different machines (and the
+#: benchmark's repeated machine builds) regenerate byte-identical sources for
+#: the same function/model, and ``compile()`` dominates predecode cost — the
+#: cache turns every rebuild after the first into a cheap ``exec``.
+_BLOCK_CODE: dict[str, object] = {}
+
+
+def compile_block(body_lines: list, bindings: dict, tag: str):
+    """Compile one basic-block superinstruction from generated source.
+
+    ``body_lines`` are pre-indented to the handler body depth (8 spaces).
+    Bindings become keyword defaults (``LOAD_FAST`` at run time, like the
+    per-instruction handlers); machine-wide objects are bound once per block
+    under shared names, and site scalars are inlined as literals, so the
+    default list stays small even for long blocks.  The compiled code object
+    is cached by source text: rebuilding the same function for another
+    machine (or benchmark round) skips ``compile()``, which otherwise
+    dominates predecode time.
+    """
+    names = sorted(bindings)
+    signature = ("    def handler(frame, "
+                 + ", ".join(f"{name}=B[{name!r}]" for name in names) + "):")
+    source = ("def make(B):\n" + signature + "\n"
+              + "\n".join(body_lines) + "\n    return handler\n")
+    code = _BLOCK_CODE.get(source)
+    if code is None:
+        code = compile(source, f"<block {tag}>", "exec")
+        _BLOCK_CODE[source] = code
+    namespace = dict(_GLOBALS)
+    exec(code, namespace)
+    return namespace["make"](bindings)
 
 
 def _compile(shape: tuple, body_lines: list) -> object:
     import re
 
-    body = "\n".join(body_lines[1:-1])  # drop "def handler" / "return handler"
+    body = "\n".join(body_lines)
     # Bind every name the body references as a keyword default, so the
     # handler reads them with LOAD_FAST instead of closure-cell lookups.
     used = [name for name in _BINDING_NAMES

@@ -196,6 +196,67 @@ def _strcat(machine, args, result_type):
 # ---------------------------------------------------------------------------
 
 
+def _parse_spec(spec: bytes) -> tuple[str, int, int | None]:
+    """Split a printf conversion spec into (flags, width, precision).
+
+    Length modifiers (``l``/``z``/``h``) only select the argument width in C;
+    mini-C values already carry their width, so they are stripped.  Flags are
+    the C99 set this runtime honours: ``-`` (left justify), ``0`` (zero pad),
+    ``+`` / space (sign of signed conversions).
+    """
+    text = spec.translate(None, b"lzh").decode("ascii")
+    k = 0
+    flags = ""
+    while k < len(text) and text[k] in "-+ 0":
+        flags += text[k]
+        k += 1
+    width = 0
+    while k < len(text) and text[k].isdigit():
+        width = width * 10 + int(text[k])
+        k += 1
+    precision: int | None = None
+    if k < len(text) and text[k] == ".":
+        k += 1
+        precision = 0
+        while k < len(text) and text[k].isdigit():
+            precision = precision * 10 + int(text[k])
+            k += 1
+    return flags, width, precision
+
+
+def _format_number(digits: str, sign: str, prefix: str, flags: str,
+                   width: int, precision: int | None) -> bytes:
+    """Assemble one numeric conversion with C99 padding rules.
+
+    ``precision`` is the minimum digit count (``%.3d`` of 5 -> ``005``); an
+    explicit precision of 0 prints value 0 as the empty string.  The ``0``
+    flag pads with zeros *after* the sign/prefix up to the field width, and is
+    ignored when ``-`` or a precision is given — both exactly as C printf.
+    """
+    if precision is not None:
+        if precision == 0 and digits == "0":
+            digits = ""
+        else:
+            digits = digits.zfill(precision)
+    body = sign + prefix + digits
+    if width > len(body):
+        if "-" in flags:
+            body += " " * (width - len(body))
+        elif "0" in flags and precision is None:
+            body = sign + prefix + digits.zfill(width - len(sign) - len(prefix))
+        else:
+            body = body.rjust(width)
+    return body.encode()
+
+
+def _pad_text(data: bytes, flags: str, width: int) -> bytes:
+    """Field-width padding for the non-numeric conversions (``%c``/``%s``)."""
+    if width <= len(data):
+        return data
+    pad = b" " * (width - len(data))
+    return data + pad if "-" in flags else pad + data
+
+
 def _format(machine, template: bytes, args: list) -> bytes:
     out = bytearray()
     arg_index = 0
@@ -208,8 +269,7 @@ def _format(machine, template: bytes, args: list) -> bytes:
             out += template[i:]
             break
         out += template[i:percent]
-        # scan the conversion specification (flags/width/length are accepted
-        # and mostly ignored; mini-C output is for checking, not typesetting)
+        # scan the conversion specification
         j = percent + 1
         while j < length and template[j] in b"-+ 0123456789.lzh":
             j += 1
@@ -224,19 +284,28 @@ def _format(machine, template: bytes, args: list) -> bytes:
             continue
         value = args[arg_index]
         arg_index += 1
+        flags, width, precision = _parse_spec(spec)
         if conv in (b"d", b"i"):
-            out += str(_as_int(value)).encode()
+            n = _as_int(value)
+            sign = "-" if n < 0 else "+" if "+" in flags else " " if " " in flags else ""
+            out += _format_number(str(abs(n)), sign, "", flags, width, precision)
         elif conv == b"u":
-            out += str(_as_size(value)).encode()
+            out += _format_number(str(_as_size(value)), "", "", flags, width, precision)
         elif conv in (b"x", b"X"):
             text = format(_as_size(value), "x")
-            out += (text.upper() if conv == b"X" else text).encode()
+            if conv == b"X":
+                text = text.upper()
+            out += _format_number(text, "", "", flags, width, precision)
         elif conv == b"c":
-            out += bytes([_as_int(value) & 0xFF])
+            out += _pad_text(bytes([_as_int(value) & 0xFF]), flags, width)
         elif conv == b"s":
-            out += machine.read_cstring(_as_ptr(machine, value))
+            data = machine.read_cstring(_as_ptr(machine, value))
+            if precision is not None:
+                data = data[:precision]
+            out += _pad_text(data, flags, width)
         elif conv == b"p":
-            out += format(_as_size(value), "#x").encode()
+            out += _format_number(format(_as_size(value), "x"), "", "0x",
+                                  flags, width, precision)
         else:
             out += b"%" + spec + conv
     return bytes(out)

@@ -23,9 +23,11 @@ Key mechanisms:
   difference between ABIs is the size and alignment of pointers, which is the
   paper's architectural story for Figures 1–4.
 * **Dispatch.**  Function bodies are predecoded once per machine into
-  per-instruction closures (:mod:`repro.interp.predecode`) and executed by a
-  threaded-dispatch loop; ``tests/test_metrics_golden.py`` pins that this is
-  observationally identical to naive instruction-at-a-time interpretation.
+  per-instruction closures plus basic-block superinstructions
+  (:mod:`repro.interp.predecode`) and executed by a threaded-dispatch loop
+  over pooled call frames; ``tests/test_metrics_golden.py`` and
+  ``tests/test_superinstructions.py`` pin that this is observationally
+  identical to naive instruction-at-a-time interpretation.
 """
 
 from __future__ import annotations
@@ -93,7 +95,8 @@ class AbstractMachine:
                  "hierarchy", "shadow", "globals", "output", "checkpoints",
                  "rng", "instructions", "cycles", "memory_accesses",
                  "max_instructions", "collect_timing", "_call_depth",
-                 "_code_cache", "_ptr_load_memo", "_clear_shadow")
+                 "_code_cache", "_ptr_load_memo", "_clear_shadow",
+                 "block_profile")
 
     def __init__(
         self,
@@ -136,6 +139,9 @@ class AbstractMachine:
         #: is a pure function of the address (see predecode._PURE_PTR_LOADERS).
         self._ptr_load_memo: dict[int, PtrVal] = {}
         self._clear_shadow = self.model.uses_shadow and self.model.clear_shadow_on_data_store
+        #: set to a dict *before the first run* to record per-superinstruction
+        #: execution counts (see scripts/profile_interp.py --blocks).
+        self.block_profile: dict | None = None
         self._setup_globals()
 
     # ------------------------------------------------------------------
@@ -479,10 +485,17 @@ class AbstractMachine:
         """
         if code is None:
             code = self._code_for(function)
-        frame = code.frame_proto.copy()
+        # Frames come from a per-CompiledFunction pool: released frames were
+        # reset to the prototype (alloca list kept attached, entries cleared),
+        # so a call does not round-trip the allocator for the register file.
+        pool = code.pool
+        if pool:
+            frame = pool.pop()
+        else:
+            frame = code.frame_proto.copy()
+            if code.nallocas:
+                frame[1] = [None] * code.nallocas
         frame[0] = args
-        if code.nallocas:
-            frame[1] = [None] * code.nallocas
         paired = code.paired
         size = code.size
         max_instructions = self.max_instructions
@@ -496,4 +509,13 @@ class AbstractMachine:
             handler, cost = paired[pc]
             self.cycles += cost
             pc = handler(frame)
-        return frame[2]
+        result = frame[2]
+        # Reset-on-release; a trap skips this (the frame is simply dropped
+        # and the pool regrows lazily on later calls).
+        allocas = frame[1]
+        frame[:] = code.frame_proto
+        if allocas is not None:
+            allocas[:] = code.alloca_proto
+            frame[1] = allocas
+        pool.append(frame)
+        return result

@@ -271,3 +271,10 @@ def box_int(raw: int, width: int, signed: bool) -> IntVal:
     if INTERN_MIN <= raw <= INTERN_MAX:
         return _intern_tables.get((width, signed), intern_table(width, signed))[raw - INTERN_MIN]
     return IntVal(raw, width, signed)
+
+
+#: canonical boxed comparison results (``int`` in C is 4 bytes): shared by the
+#: predecoded CMP handlers and the generated basic-block superinstructions so
+#: every engine materialises the identical interned instances.
+TRUE_I32 = intern_table(4, True)[1 - INTERN_MIN]
+FALSE_I32 = intern_table(4, True)[0 - INTERN_MIN]

@@ -1,0 +1,67 @@
+"""Edge-case and property tests for ``repro.common.bitops``.
+
+``sign_extend(value, 0)`` used to raise a confusing ``ValueError`` from
+``1 << -1``; zero-width values now have an explicit, documented meaning
+(no bits -> 0, matching ``truncate``) and negative widths fail with a clear
+message from both ``sign_extend`` and ``to_signed``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitops import (
+    mask,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    truncate,
+    zero_extend,
+)
+
+
+@pytest.mark.parametrize("value", [0, 1, -1, 0xDEADBEEF, -(1 << 80), 1 << 80])
+def test_zero_width_is_zero(value):
+    assert sign_extend(value, 0) == 0
+    assert to_signed(value, 0) == 0
+    assert truncate(value, 0) == 0
+    assert zero_extend(value, 0) == 0
+    assert to_unsigned(value, 0) == 0
+
+
+@pytest.mark.parametrize("func", [sign_extend, to_signed])
+@pytest.mark.parametrize("bits", [-1, -64])
+def test_negative_width_message(func, bits):
+    with pytest.raises(ValueError, match="bit width must be non-negative"):
+        func(0, bits)
+
+
+def test_width_one():
+    assert sign_extend(0, 1) == 0
+    assert sign_extend(1, 1) == -1
+    assert sign_extend(2, 1) == 0  # only the low bit participates
+    assert to_unsigned(-1, 1) == 1
+
+
+def test_width_sixty_four():
+    assert sign_extend(mask(64), 64) == -1
+    assert sign_extend(1 << 63, 64) == -(1 << 63)
+    assert sign_extend((1 << 63) - 1, 64) == (1 << 63) - 1
+    assert to_unsigned(-1, 64) == mask(64)
+
+
+@given(value=st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+def test_signed_unsigned_round_trip_64(value):
+    assert to_signed(to_unsigned(value, 64), 64) == value
+
+
+@given(value=st.integers(), bits=st.integers(min_value=1, max_value=128))
+def test_sign_extend_idempotent_and_in_range(value, bits):
+    extended = sign_extend(value, bits)
+    # idempotent: extending an already-extended value changes nothing
+    assert sign_extend(extended, bits) == extended
+    # in range for the width
+    assert -(1 << (bits - 1)) <= extended < (1 << (bits - 1))
+    # round-trip: the unsigned view of the extension is the truncation
+    assert to_unsigned(extended, bits) == truncate(value, bits)

@@ -1,0 +1,46 @@
+"""Lint guard: compiled bytecode must never be committed.
+
+The seed repository carried 51 ``src/**/__pycache__/*.pyc`` files in the git
+index; a stale committed ``.pyc`` can shadow a source edit for anyone whose
+interpreter version matches, which makes "I changed the file and nothing
+happened" bugs possible.  The index was purged and a root ``.gitignore``
+added; this test keeps it that way.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _tracked_files() -> list[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files"], cwd=REPO_ROOT, capture_output=True,
+            text=True, timeout=30, check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        pytest.skip("git is not available")
+    if proc.returncode != 0:
+        pytest.skip("not inside a git work tree")
+    return proc.stdout.splitlines()
+
+
+def test_no_bytecode_is_git_tracked():
+    offenders = [path for path in _tracked_files()
+                 if path.endswith(".pyc") or "__pycache__" in path]
+    assert not offenders, (
+        "compiled bytecode is committed (run `git rm -r --cached` on these "
+        f"and keep .gitignore intact): {offenders[:10]}"
+    )
+
+
+def test_gitignore_covers_caches():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    for pattern in ("__pycache__/", "*.pyc", ".pytest_cache/",
+                    ".hypothesis/", ".benchmarks/"):
+        assert pattern in gitignore, f".gitignore lost the {pattern!r} entry"
