@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Differential-execution sweep: generated mini-C corpora across all models.
+
+Generates a seeded corpus of pointer-idiom-heavy programs, executes every
+program under every requested memory model, classifies each (program, model)
+outcome against the PDP-11 baseline, and writes:
+
+* ``results/table5_differential_matrix.txt`` — the Table-5 outcome matrix
+  plus a per-feature breakdown;
+* ``results/difftest_corpus.json`` — sweep metadata, per-model summaries and
+  every interesting (divergent) seed, plus delta-debugged minimal
+  reproducers for the first ``--reduce`` divergent programs.
+
+Both outputs are bit-deterministic for a given (seed, count, models, budget):
+run the sweep twice and the files are identical.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_difftest.py --seed 0 --count 500
+    PYTHONPATH=src python scripts/run_difftest.py --count 64 --models pdp11,cheri_v3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.difftest import (  # noqa: E402  (sys.path setup above)
+    GENERATOR_VERSION,
+    DifferentialRunner,
+    classify_sweep,
+    corpus_document,
+    format_matrix,
+    generate_corpus,
+    reduce_program,
+    summarize,
+)
+from repro.difftest.oracle import BASELINE, feature_breakdown, is_divergent  # noqa: E402
+from repro.interp.models import PAPER_MODEL_ORDER  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0, help="corpus seed (default 0)")
+    parser.add_argument("--count", type=int, default=500,
+                        help="number of generated programs (default 500)")
+    parser.add_argument("--models", default=",".join(PAPER_MODEL_ORDER),
+                        help="comma-separated model names (default: all seven)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="per-run instruction budget (default: runner default)")
+    parser.add_argument("--reduce", type=int, default=3, metavar="N",
+                        help="minimize the first N divergent programs into the "
+                             "JSON corpus (default 3; 0 disables)")
+    parser.add_argument("--out-dir", default=None,
+                        help="output directory (default: <repo>/results)")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    models = tuple(name.strip() for name in args.models.split(",") if name.strip())
+    runner_kwargs = {"models": models}
+    if args.budget is not None:
+        runner_kwargs["budget"] = args.budget
+    runner = DifferentialRunner(**runner_kwargs)
+
+    say = (lambda *a, **k: None) if args.quiet else print
+    t0 = time.perf_counter()
+    programs = generate_corpus(args.seed, args.count)
+    say(f"generated {len(programs)} programs (seed={args.seed}, "
+        f"generator v{GENERATOR_VERSION})")
+
+    def progress(i, program):
+        if not args.quiet and (i + 1) % 100 == 0:
+            say(f"  swept {i + 1}/{len(programs)} programs "
+                f"({time.perf_counter() - t0:.1f}s)")
+
+    results = runner.sweep(programs, progress=progress)
+    sweep_seconds = time.perf_counter() - t0
+    classifications = classify_sweep(results)
+    summary = summarize(classifications)
+    runs = len(programs) * len(models)
+    say(f"swept {len(programs)} programs x {len(models)} models in "
+        f"{sweep_seconds:.1f}s ({runs / sweep_seconds:.0f} program-runs/s)")
+
+    meta = {
+        "seed": args.seed,
+        "count": args.count,
+        "models": list(models),
+        "budget": runner.budget,
+        "generator_version": GENERATOR_VERSION,
+        "baseline": BASELINE,
+    }
+    matrix_text = format_matrix(summary, feature_breakdown(programs, classifications),
+                                meta=meta)
+    document = corpus_document(programs, results, classifications, meta=meta)
+
+    if args.reduce:
+        reducer_runner = DifferentialRunner(models=models, budget=runner.budget,
+                                            analyze=False)
+        reductions = []
+        for program, classification in zip(programs, classifications):
+            if len(reductions) >= args.reduce:
+                break
+            if not is_divergent(classification):
+                continue
+            model = next(m for m in models
+                         if classification[m] not in ("agree", "agree-trap"))
+            category = classification[model]
+            try:
+                reduction = reduce_program(program, model, category,
+                                           runner=reducer_runner)
+            except ValueError:
+                continue
+            say(f"  reduced program {program.index} "
+                f"({model}={category}): {reduction.original_statements} -> "
+                f"{reduction.reduced_statements} statements "
+                f"in {reduction.tests_run} runs")
+            reductions.append({
+                "index": program.index,
+                "model": model,
+                "category": category,
+                "statements_before": reduction.original_statements,
+                "statements_after": reduction.reduced_statements,
+                "source": reduction.source,
+            })
+        document["reductions"] = reductions
+
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else \
+        pathlib.Path(__file__).resolve().parent.parent / "results"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    matrix_path = out_dir / "table5_differential_matrix.txt"
+    corpus_path = out_dir / "difftest_corpus.json"
+    matrix_path.write_text(matrix_text + "\n", encoding="utf-8")
+    corpus_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                           encoding="utf-8")
+    say(f"wrote {matrix_path}")
+    say(f"wrote {corpus_path}")
+    say("")
+    say(matrix_text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

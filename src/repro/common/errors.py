@@ -36,29 +36,45 @@ class MemorySafetyError(ReproError):
 
     Instances carry an optional ``address`` and ``capability`` describing the
     faulting access so that tests and debuggers can assert on the precise
-    cause of the trap.
+    cause of the trap.  ``cause`` is a short symbolic category (``"bounds"``,
+    ``"tag"``, ``"uaf"``, ...) used by the differential-testing oracle to
+    bucket traps without parsing messages; each subclass supplies a default.
     """
 
-    def __init__(self, message: str, *, address: int | None = None, capability=None):
+    #: default symbolic trap category, overridden by subclasses and refinable
+    #: per raise site via the ``cause`` keyword.
+    default_cause = "safety"
+
+    def __init__(self, message: str, *, address: int | None = None, capability=None,
+                 cause: str | None = None):
         super().__init__(message)
         self.address = address
         self.capability = capability
+        self.cause = cause or self.default_cause
 
 
 class BoundsViolation(MemorySafetyError):
     """An access fell outside the bounds associated with a pointer."""
 
+    default_cause = "bounds"
+
 
 class TagViolation(MemorySafetyError):
     """A capability with a cleared tag was used for memory access or jump."""
+
+    default_cause = "tag"
 
 
 class PermissionViolation(MemorySafetyError):
     """An access requested a permission the capability does not grant."""
 
+    default_cause = "permission"
+
 
 class AlignmentViolation(MemorySafetyError):
     """A capability (or capability-sized access) was not naturally aligned."""
+
+    default_cause = "alignment"
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,721 @@
+"""Seeded, grammar-directed mini-C program generator.
+
+Programs are built directly as :mod:`repro.minic.astnodes` trees — never as
+text templates — so they are inside the mini-C grammar and type-correct *by
+construction*: every expression is assembled from typed building blocks and
+rendered through :func:`repro.minic.unparse.unparse`.  The generator is
+biased toward the paper's idiom catalogue (Table 1): int<->pointer casts,
+out-of-bounds array probes, sub-object pointer arithmetic, aliasing through
+unions and ``memcpy``, pointer laundering through byte copies, and
+use-after-free against the heap.
+
+Two invariants matter for the differential oracle:
+
+* **Termination by construction.**  Every loop has a literal bound, helper
+  functions are generated before ``main`` and never recurse, so no program
+  needs the instruction budget (it exists as a backstop only).
+* **Layout-independent checksums.**  The running checksum ``chk`` (folded
+  into ``mini_checkpoint`` and the exit status — the oracle's *semantic*
+  channel) never absorbs raw addresses, pointer-width-dependent ``sizeof``
+  values, or struct layouts containing pointers.  Layout-dependent values
+  are printed instead (the *output* channel), which is what lets the oracle
+  separate silent corruption from benign ABI differences.
+
+Determinism: a program is a pure function of ``(corpus_seed, index)`` via a
+splitmix-style derivation into :class:`repro.common.rng.DeterministicRng`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.bitops import mask
+from repro.common.rng import DeterministicRng
+from repro.minic import astnodes as ast
+from repro.minic.typesys import (
+    ArrayType,
+    CType,
+    IntType,
+    PointerType,
+    Qualifiers,
+    StructField,
+    StructType,
+)
+from repro.minic.unparse import unparse
+
+#: bump when generated programs change shape; recorded in the corpus JSON so
+#: stale goldens fail loudly instead of mysteriously.
+GENERATOR_VERSION = 1
+
+_MASK64 = mask(64)
+
+# ---------------------------------------------------------------------------
+# Type singletons (only used for rendering; the real type checking happens
+# when the rendered source is compiled by the ordinary front end)
+# ---------------------------------------------------------------------------
+
+INT = IntType(bytes=4, signed=True, name="int")
+UINT = IntType(bytes=4, signed=False, name="unsigned int")
+LONG = IntType(bytes=8, signed=True, name="long")
+CHAR = IntType(bytes=1, signed=True, name="char")
+INTPTR = IntType(bytes=8, signed=True, name="intptr_t", is_pointer_sized=True)
+CONST_CHAR = IntType(bytes=1, signed=True, name="char", qualifiers=Qualifiers.CONST)
+
+
+def ptr(t: CType) -> PointerType:
+    return PointerType(pointee=t)
+
+
+# ---------------------------------------------------------------------------
+# AST shorthands
+# ---------------------------------------------------------------------------
+
+
+def lit(value: int) -> ast.IntLiteral:
+    return ast.IntLiteral(value=value)
+
+
+def ident(name: str) -> ast.Identifier:
+    return ast.Identifier(name=name)
+
+
+def binop(op: str, left: ast.Expr, right: ast.Expr) -> ast.Binary:
+    return ast.Binary(op=op, left=left, right=right)
+
+
+def unary(op: str, operand: ast.Expr) -> ast.Unary:
+    return ast.Unary(op=op, operand=operand)
+
+
+def assign(target: ast.Expr, value: ast.Expr, op: str = "=") -> ast.Stmt:
+    return ast.ExprStmt(expr=ast.Assign(op=op, target=target, value=value))
+
+
+def index(base: ast.Expr, idx: ast.Expr | int) -> ast.Index:
+    return ast.Index(base=base, index=lit(idx) if isinstance(idx, int) else idx)
+
+
+def member(base: ast.Expr, name: str, *, arrow: bool = False) -> ast.Member:
+    return ast.Member(base=base, member=name, arrow=arrow)
+
+
+def call(callee: str, *args: ast.Expr) -> ast.Call:
+    return ast.Call(callee=callee, args=list(args))
+
+
+def call_stmt(callee: str, *args: ast.Expr) -> ast.Stmt:
+    return ast.ExprStmt(expr=call(callee, *args))
+
+
+def cast(target_type: CType, operand: ast.Expr) -> ast.Cast:
+    return ast.Cast(target_type=target_type, operand=operand)
+
+
+def decl(name: str, ctype: CType, initializer: ast.Expr | None = None,
+         array_initializer: list[ast.Expr] | None = None) -> ast.Declaration:
+    return ast.Declaration(name=name, ctype=ctype, initializer=initializer,
+                           array_initializer=array_initializer)
+
+
+def for_range(counter: str, count: int, body: list[ast.Stmt]) -> ast.For:
+    """``for (int counter = 0; counter < count; counter++) { body }``."""
+    return ast.For(
+        init=decl(counter, INT, lit(0)),
+        condition=binop("<", ident(counter), lit(count)),
+        step=ast.IncDec(op="++", operand=ident(counter), is_prefix=False),
+        body=ast.Block(statements=body),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Generated program container
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated program plus the metadata the pipeline needs."""
+
+    corpus_seed: int
+    index: int
+    seed: int
+    features: tuple[str, ...]
+    structs: list[StructType]
+    unit: ast.TranslationUnit
+    _source: str | None = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return f"gen_{self.corpus_seed}_{self.index}"
+
+    @property
+    def source(self) -> str:
+        if self._source is None:
+            self._source = self.render()
+        return self._source
+
+    def render(self) -> str:
+        header = (f"{self.name}: generated by repro.difftest.generator "
+                  f"v{GENERATOR_VERSION} (seed={self.seed:#x})\n"
+                  f"features: {', '.join(self.features) or 'none'}")
+        return unparse(self.unit, structs=self.structs, header=header)
+
+    def invalidate_source(self) -> None:
+        """Forget the cached rendering (used after AST mutation by the reducer)."""
+        self._source = None
+
+
+def _derive_seed(corpus_seed: int, index: int) -> int:
+    """splitmix64-style mix so adjacent indices give unrelated streams."""
+    z = (corpus_seed * 0x9E3779B97F4A7C15 + (index + 1) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) or 1
+
+
+# ---------------------------------------------------------------------------
+# The generator
+# ---------------------------------------------------------------------------
+
+
+class ProgramGenerator:
+    """Builds pointer-idiom-heavy programs from a deterministic seed."""
+
+    #: scenarios that stay within the paper's *supported* idiom envelope:
+    #: they may still trap under restrictive models (CHERIv2 rejects most of
+    #: them — that is the v2-vs-v3 story) but never probe out of bounds or
+    #: use freed memory, so the PDP-11/relaxed/strict row mostly agrees.
+    SAFE_SCENARIOS = (
+        ("arith", 3),
+        ("loop_sum", 3),
+        ("helper_call", 3),
+        ("int_roundtrip", 2),
+        ("int_arith", 2),
+        ("mask", 2),
+        ("container", 2),
+        ("subobject", 2),
+        ("union_pun", 2),
+        ("memcpy_alias", 2),
+        ("layout_probe", 2),
+        ("abi_assume", 2),
+        ("wide", 1),
+    )
+
+    #: scenarios that violate memory safety on purpose; checking models trap
+    #: on them and everything after the trap is masked, so the profiles
+    #: below keep them isolated (at most one per program except in the
+    #: deliberately hostile tail of the corpus).
+    UNSAFE_SCENARIOS = (
+        ("oob_read", 3),
+        ("oob_write", 2),
+        ("uaf", 2),
+        ("ptr_launder_copy", 2),
+        ("helper_oob", 2),
+        ("deconst", 1),
+    )
+
+    def __init__(self, corpus_seed: int) -> None:
+        self.corpus_seed = corpus_seed
+        self._safe = [name for name, weight in self.SAFE_SCENARIOS for _ in range(weight)]
+        self._unsafe = [name for name, weight in self.UNSAFE_SCENARIOS for _ in range(weight)]
+
+    # ------------------------------------------------------------------
+
+    def generate(self, index: int) -> GeneratedProgram:
+        seed = _derive_seed(self.corpus_seed, index)
+        self.rng = DeterministicRng(seed)
+        self.features: list[str] = []
+        self.structs: list[StructType] = []
+        self.body: list[ast.Stmt] = []
+        self.helpers: list[ast.FunctionDef] = []
+        self.globals: list[ast.Declaration] = []
+        self._counters: dict[str, int] = {}
+
+        # symbol pools the scenarios draw from: (name, element count)
+        self.int_arrays: list[tuple[str, int]] = []
+        self.char_arrays: list[tuple[str, int]] = []
+        self.heap_arrays: list[tuple[str, int]] = []   # alive malloc'd int arrays
+        self.int_vars: list[str] = []
+        self.struct_var: tuple[str, StructType] | None = None
+        self.union_var: tuple[str, StructType] | None = None
+        self.helper_sigs: list[tuple[str, str]] = []   # (name, kind)
+
+        self._prologue()
+        # Program profiles: ~30% exercise only idioms the paper classifies
+        # as "should work" (populating the agree/benign/corrupt columns and
+        # the CHERIv2 rejection rows), ~50% add exactly one deliberate
+        # memory-safety violation at a random point, and ~20% are hostile
+        # (any mix).  Without the isolation, the first trap masks everything
+        # downstream and the matrix degenerates to all-trap.
+        roll = self.rng.randint(1, 100)
+        if roll <= 30:
+            plan = [self.rng.choice(self._safe) for _ in range(self.rng.randint(4, 8))]
+        elif roll <= 80:
+            plan = [self.rng.choice(self._safe) for _ in range(self.rng.randint(3, 7))]
+            plan.insert(self.rng.randint(0, len(plan)), self.rng.choice(self._unsafe))
+        else:
+            pool = self._safe + self._unsafe
+            plan = [self.rng.choice(pool) for _ in range(self.rng.randint(5, 9))]
+        for name in plan:
+            getattr(self, f"_scenario_{name}")()
+        self._epilogue()
+
+        unit = ast.TranslationUnit(
+            declarations=self.globals,
+            functions=self.helpers + [self._main()],
+        )
+        return GeneratedProgram(
+            corpus_seed=self.corpus_seed,
+            index=index,
+            seed=seed,
+            features=tuple(dict.fromkeys(self.features)),
+            structs=self.structs,
+            unit=unit,
+        )
+
+    # ------------------------------------------------------------------
+    # Naming / small helpers
+    # ------------------------------------------------------------------
+
+    def _name(self, prefix: str) -> str:
+        n = self._counters.get(prefix, 0)
+        self._counters[prefix] = n + 1
+        return f"{prefix}{n}"
+
+    def _fold(self, expr: ast.Expr) -> None:
+        """``chk = chk * 33 + (expr);`` — the semantic checksum channel."""
+        self.body.append(assign(ident("chk"),
+                                binop("+", binop("*", ident("chk"), lit(33)), expr)))
+
+    def _checkpoint(self) -> None:
+        self.body.append(call_stmt("mini_checkpoint", cast(INT, ident("chk"))))
+
+    def _pick_array(self, *, writable: bool = False) -> tuple[str, int]:
+        """Any live int-element array (stack, global or heap)."""
+        pools = self.int_arrays + self.heap_arrays
+        return self.rng.choice(pools)
+
+    def _literal_values(self, count: int, low: int = -9, high: int = 99) -> list[ast.Expr]:
+        return [lit(self.rng.randint(low, high)) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Program skeleton
+    # ------------------------------------------------------------------
+
+    def _prologue(self) -> None:
+        rng = self.rng
+        # one or two global int arrays with literal initializers
+        for _ in range(rng.randint(1, 2)):
+            name = self._name("g")
+            length = rng.randint(4, 10)
+            self.globals.append(decl(name, ArrayType(element=INT, count=length),
+                                     array_initializer=self._literal_values(length)))
+            self.int_arrays.append((name, length))
+
+        # a pointer-free struct: layout identical across pointer widths, so
+        # offsetof/sizeof on it are checksum-safe
+        s_fields = [StructField(name="f0", ctype=LONG)]
+        for i in range(1, rng.randint(2, 4)):
+            kind = rng.choice(("int", "int", "arr", "char"))
+            if kind == "arr":
+                s_fields.append(StructField(name=f"f{i}",
+                                            ctype=ArrayType(element=INT, count=rng.randint(2, 4))))
+            elif kind == "char":
+                s_fields.append(StructField(name=f"f{i}", ctype=CHAR))
+            else:
+                s_fields.append(StructField(name=f"f{i}", ctype=INT))
+        struct = StructType(tag="S0", fields=s_fields)
+        struct.complete = True
+        self.structs.append(struct)
+
+        # a union for type punning
+        union = StructType(tag="U0", is_union=True, complete=True, fields=[
+            StructField(name="whole", ctype=LONG),
+            StructField(name="half", ctype=ArrayType(element=INT, count=2)),
+            StructField(name="bytes", ctype=ArrayType(element=CHAR, count=8)),
+        ])
+        self.structs.append(union)
+
+        # main locals
+        self.body.append(decl("chk", LONG, lit(1)))
+        for _ in range(rng.randint(1, 2)):
+            name = self._name("a")
+            length = rng.randint(4, 8)
+            self.body.append(decl(name, ArrayType(element=INT, count=length),
+                                  array_initializer=self._literal_values(length)))
+            self.int_arrays.append((name, length))
+        cname = self._name("c")
+        clen = rng.randint(8, 12)
+        self.body.append(decl(cname, ArrayType(element=CHAR, count=clen),
+                              array_initializer=[
+                                  ast.CharLiteral(value=rng.randint(97, 122))
+                                  for _ in range(clen)]))
+        self.char_arrays.append((cname, clen))
+
+        sname = self._name("s")
+        self.body.append(decl(sname, struct))
+        for i, f in enumerate(struct.fields):
+            if isinstance(f.ctype, ArrayType):
+                for j in range(f.ctype.count):
+                    self.body.append(assign(index(member(ident(sname), f.name), j),
+                                            lit(rng.randint(1, 50))))
+            else:
+                self.body.append(assign(member(ident(sname), f.name), lit(rng.randint(1, 50))))
+        self.struct_var = (sname, struct)
+
+        uname = self._name("u")
+        self.body.append(decl(uname, union))
+        self.body.append(assign(member(ident(uname), "whole"),
+                                lit(rng.randint(1, 1 << 40))))
+        self.union_var = (uname, union)
+
+        # a heap allocation, filled by a bounded loop
+        hname = self._name("h")
+        hlen = rng.randint(4, 8)
+        self.body.append(decl(hname, ptr(INT),
+                              cast(ptr(INT), call("malloc", lit(hlen * 4)))))
+        i = self._name("i")
+        self.body.append(for_range(i, hlen, [
+            assign(index(ident(hname), ident(i)),
+                   binop("*", ident(i), lit(rng.randint(2, 9)))),
+        ]))
+        self.heap_arrays.append((hname, hlen))
+
+        # helper functions main can call (generated first, never recursive)
+        for _ in range(rng.randint(1, 2)):
+            self._make_helper()
+
+    def _make_helper(self) -> None:
+        rng = self.rng
+        name = self._name("helper")
+        op = rng.choice(("+", "^", "+", "*"))
+        body = [
+            decl("acc", INT, lit(rng.randint(0, 3))),
+            for_range("i", 0, []),  # placeholder replaced below
+            ast.Return(value=ident("acc")),
+        ]
+        loop_body = [assign(ident("acc"), index(ident("p"), ident("i")), op="+=")
+                     if op == "+" else
+                     assign(ident("acc"),
+                            binop(op, ident("acc"), index(ident("p"), ident("i"))))]
+        body[1] = ast.For(
+            init=decl("i", INT, lit(0)),
+            condition=binop("<", ident("i"), ident("n")),
+            step=ast.IncDec(op="++", operand=ident("i"), is_prefix=False),
+            body=ast.Block(statements=loop_body),
+        )
+        self.helpers.append(ast.FunctionDef(
+            name=name, return_type=INT,
+            params=[ast.Parameter(name="p", ctype=ptr(INT)),
+                    ast.Parameter(name="n", ctype=INT)],
+            body=ast.Block(statements=body),
+        ))
+        self.helper_sigs.append((name, "sum"))
+
+    def _epilogue(self) -> None:
+        self._checkpoint()
+        self.body.append(call_stmt("mini_output_int",
+                                   cast(INT, binop("&", ident("chk"), lit(65535)))))
+        self.body.append(ast.Return(value=cast(INT, binop("&", ident("chk"), lit(63)))))
+
+    def _main(self) -> ast.FunctionDef:
+        return ast.FunctionDef(name="main", return_type=INT, params=[],
+                               body=ast.Block(statements=self.body))
+
+    # ------------------------------------------------------------------
+    # Scenarios — each appends statements to main and tags a feature
+    # ------------------------------------------------------------------
+
+    def _scenario_arith(self) -> None:
+        rng = self.rng
+        arr, length = self._pick_array()
+        v = self._name("v")
+        self.body.append(decl(v, INT, lit(rng.randint(-20, 20))))
+        expr: ast.Expr = ident(v)
+        for _ in range(rng.randint(1, 3)):
+            op = rng.choice(("+", "-", "*", "^", "|"))
+            expr = binop(op, expr, index(ident(arr), rng.randint(0, length - 1)))
+        self.body.append(assign(ident(v), expr))
+        self.int_vars.append(v)
+        self._fold(ident(v))
+        self.features.append("arith")
+
+    def _scenario_loop_sum(self) -> None:
+        rng = self.rng
+        arr, length = self._pick_array()
+        acc = self._name("v")
+        i = self._name("i")
+        self.body.append(decl(acc, INT, lit(0)))
+        self.body.append(for_range(i, length, [
+            assign(ident(acc),
+                   binop("+", ident(acc),
+                         binop("*", index(ident(arr), ident(i)),
+                               lit(rng.randint(1, 5))))),
+        ]))
+        self.int_vars.append(acc)
+        self._fold(ident(acc))
+        self.features.append("loop")
+
+    def _scenario_helper_call(self) -> None:
+        rng = self.rng
+        if not self.helper_sigs:
+            return
+        name, _ = rng.choice(self.helper_sigs)
+        arr, length = self._pick_array()
+        self._fold(call(name, ident(arr), lit(length)))
+        self.features.append("helper")
+        self._checkpoint()
+
+    def _scenario_helper_oob(self) -> None:
+        """An interprocedural out-of-bounds probe: the helper's loop bound
+        reaches one element past the end of the argument array."""
+        rng = self.rng
+        if not self.helper_sigs:
+            return
+        name, _ = rng.choice(self.helper_sigs)
+        arr, length = self._pick_array()
+        self._fold(call(name, ident(arr), lit(length + 1)))
+        self.features.append("helper_oob")
+        self._checkpoint()
+
+    def _scenario_oob_read(self) -> None:
+        rng = self.rng
+        arr, length = self._pick_array()
+        offset = length + rng.randint(0, 2)
+        self._fold(index(ident(arr), offset))
+        self.features.append("oob_read")
+        self._checkpoint()
+
+    def _scenario_oob_write(self) -> None:
+        rng = self.rng
+        # a dedicated victim pair: writing past `oa` lands in `ob`, so the
+        # corruption is observable on models that allow it
+        oa = self._name("oa")
+        ob = self._name("ob")
+        self.body.append(decl(oa, ArrayType(element=INT, count=4),
+                              array_initializer=self._literal_values(4)))
+        self.body.append(decl(ob, ArrayType(element=INT, count=4),
+                              array_initializer=self._literal_values(4)))
+        self.body.append(assign(index(ident(oa), 4 + rng.randint(0, 1)),
+                                lit(rng.randint(100, 999))))
+        for j in range(4):
+            self._fold(index(ident(ob), j))
+        self.features.append("oob_write")
+        self._checkpoint()
+
+    def _scenario_int_roundtrip(self) -> None:
+        rng = self.rng
+        arr, length = self._pick_array()
+        ip = self._name("ip")
+        q = self._name("q")
+        target = index(ident(arr), rng.randint(0, length - 1))
+        self.body.append(decl(ip, INTPTR, cast(INTPTR, unary("&", target))))
+        self.body.append(decl(q, ptr(INT), cast(ptr(INT), ident(ip))))
+        self._fold(unary("*", ident(q)))
+        self.features.append("int_roundtrip")
+        self._checkpoint()
+
+    def _scenario_int_arith(self) -> None:
+        rng = self.rng
+        arr, length = self._pick_array()
+        base = self._name("ip")
+        addr = self._name("ip")
+        idx = rng.randint(0, length - 1)
+        self.body.append(decl(base, INTPTR, cast(INTPTR, ident(arr))))
+        self.body.append(decl(addr, INTPTR,
+                              binop("+", ident(base),
+                                    binop("*", lit(idx), ast.SizeofType(target_type=INT)))))
+        self._fold(unary("*", cast(ptr(INT), ident(addr))))
+        self.features.append("int_arith")
+        self._checkpoint()
+
+    def _scenario_mask(self) -> None:
+        rng = self.rng
+        arr, length = self._pick_array()
+        tagged = self._name("ip")
+        clean = self._name("ip")
+        bit = rng.choice((1, 2))
+        self.body.append(decl(tagged, INTPTR,
+                              binop("|", cast(INTPTR, ident(arr)), lit(bit))))
+        self.body.append(decl(clean, INTPTR,
+                              binop("&", ident(tagged),
+                                    unary("~", cast(INTPTR, lit(bit))))))
+        self._fold(unary("*", cast(ptr(INT), ident(clean))))
+        self._fold(binop("&", ident(tagged), lit(bit)))
+        self.features.append("mask")
+        self._checkpoint()
+
+    def _scenario_container(self) -> None:
+        rng = self.rng
+        sname, struct = self.struct_var
+        inner = [f for f in struct.fields[1:] if isinstance(f.ctype, IntType)
+                 and f.ctype.name == "int"]
+        if not inner:
+            return
+        fld = rng.choice(inner)
+        tp = self._name("tp")
+        op = self._name("op")
+        self.body.append(decl(tp, ptr(INT), unary("&", member(ident(sname), fld.name))))
+        recovered = cast(ptr(struct),
+                         binop("-", cast(ptr(CHAR), ident(tp)),
+                               ast.OffsetOf(target_type=struct, member=fld.name)))
+        self.body.append(decl(op, ptr(struct), recovered))
+        self._fold(member(ident(op), "f0", arrow=True))
+        self.features.append("container")
+        self._checkpoint()
+
+    def _scenario_subobject(self) -> None:
+        rng = self.rng
+        arr, length = self._pick_array()
+        p = self._name("p")
+        over = rng.randint(1, 4)
+        inbounds = rng.randint(0, length - 1)
+        self.body.append(decl(p, ptr(INT),
+                              binop("+", ident(arr), lit(length + over))))
+        self.body.append(assign(ident(p),
+                                binop("-", ident(p), lit(length + over - inbounds))))
+        self._fold(unary("*", ident(p)))
+        d = self._name("v")
+        self.body.append(decl(d, LONG,
+                              binop("-", binop("+", ident(arr), lit(length)), ident(arr))))
+        self._fold(ident(d))
+        self.features.append("subobject")
+        self._checkpoint()
+
+    def _scenario_union_pun(self) -> None:
+        rng = self.rng
+        uname, _ = self.union_var
+        self.body.append(assign(member(ident(uname), "whole"),
+                                lit(rng.randint(1, 1 << 40))))
+        self._fold(index(member(ident(uname), "half"), rng.randint(0, 1)))
+        self._fold(index(member(ident(uname), "bytes"), rng.randint(0, 7)))
+        self.features.append("union_pun")
+        self._checkpoint()
+
+    def _scenario_memcpy_alias(self) -> None:
+        rng = self.rng
+        pools = self.int_arrays + self.heap_arrays
+        src, src_len = rng.choice(pools)
+        dst, dst_len = rng.choice(pools)
+        if src == dst:
+            self.features.append("memcpy_self")
+        count = min(src_len, dst_len, rng.randint(2, 6))
+        self.body.append(call_stmt("memcpy", ident(dst), ident(src), lit(count * 4)))
+        self._fold(index(ident(dst), rng.randint(0, count - 1)))
+        self.features.append("memcpy_alias")
+        self._checkpoint()
+
+    def _scenario_ptr_launder_copy(self) -> None:
+        rng = self.rng
+        arr, length = self._pick_array()
+        src = self._name("ps")
+        dst = self._name("pd")
+        sb = self._name("cb")
+        db = self._name("cb")
+        i = self._name("i")
+        self.body.append(decl(src, ArrayType(element=ptr(INT), count=1)))
+        self.body.append(decl(dst, ArrayType(element=ptr(INT), count=1)))
+        self.body.append(assign(index(ident(src), 0),
+                                binop("+", ident(arr), lit(rng.randint(0, length - 1)))))
+        self.body.append(decl(sb, ptr(CHAR), cast(ptr(CHAR), ident(src))))
+        self.body.append(decl(db, ptr(CHAR), cast(ptr(CHAR), ident(dst))))
+        self.body.append(ast.For(
+            init=decl(i, INT, lit(0)),
+            condition=binop("<", ident(i),
+                            cast(INT, ast.SizeofType(target_type=ptr(INT)))),
+            step=ast.IncDec(op="++", operand=ident(i), is_prefix=False),
+            body=ast.Block(statements=[
+                assign(index(ident(db), ident(i)), index(ident(sb), ident(i))),
+            ]),
+        ))
+        self._fold(unary("*", index(ident(dst), 0)))
+        self.features.append("ptr_launder_copy")
+        self._checkpoint()
+
+    def _scenario_uaf(self) -> None:
+        rng = self.rng
+        if not self.heap_arrays:
+            return
+        pick = rng.randint(0, len(self.heap_arrays) - 1)
+        name, length = self.heap_arrays.pop(pick)
+        self.body.append(call_stmt("free", ident(name)))
+        self._fold(index(ident(name), rng.randint(0, length - 1)))
+        self.features.append("uaf")
+        self._checkpoint()
+
+    def _scenario_deconst(self) -> None:
+        rng = self.rng
+        cname, clen = rng.choice(self.char_arrays)
+        cp = self._name("cp")
+        self.body.append(decl(cp, ptr(CONST_CHAR), ident(cname)))
+        slot = rng.randint(0, clen - 1)
+        self.body.append(assign(index(cast(ptr(CHAR), ident(cp)), slot),
+                                ast.CharLiteral(value=rng.randint(65, 90))))
+        self._fold(index(ident(cname), slot))
+        self.features.append("deconst")
+        self._checkpoint()
+
+    def _ensure_ptr_struct(self) -> StructType:
+        """A struct with a pointer member: its layout depends on the ABI."""
+        for struct in self.structs:
+            if struct.tag == "P0":
+                return struct
+        struct = StructType(tag="P0", complete=True, fields=[
+            StructField(name="head", ctype=INT),
+            StructField(name="link", ctype=ptr(INT)),
+            StructField(name="tail", ctype=INT),
+        ])
+        self.structs.append(struct)
+        return struct
+
+    def _scenario_abi_assume(self) -> None:
+        """Fold ABI-dependent layout facts into the semantic checksum.
+
+        This is the paper's porting-effort story (§4): code that bakes in
+        ``sizeof``/``offsetof`` of pointer-bearing structs runs to completion
+        under a capability ABI but silently computes different answers —
+        the oracle's ``corrupt`` category, fail-open rather than fail-closed.
+        """
+        rng = self.rng
+        struct = self._ensure_ptr_struct()
+        which = rng.choice(("sizeof_struct", "offsetof_tail", "sizeof_ptr"))
+        if which == "sizeof_struct":
+            self._fold(cast(INT, ast.SizeofType(target_type=struct)))
+        elif which == "offsetof_tail":
+            self._fold(cast(INT, ast.OffsetOf(target_type=struct, member="tail")))
+        else:
+            self._fold(cast(INT, ast.SizeofType(target_type=ptr(INT))))
+        self.features.append("abi_assume")
+        self._checkpoint()
+
+    def _scenario_layout_probe(self) -> None:
+        # pointer-width-dependent values go to the OUTPUT channel only: the
+        # oracle classifies an output-only difference as benign
+        self.body.append(call_stmt(
+            "printf", ast.StringLiteral(value="layout %d %d\n"),
+            cast(INT, ast.SizeofType(target_type=ptr(INT))),
+            cast(INT, ast.SizeofType(target_type=INTPTR))))
+        self.features.append("layout_probe")
+
+    def _scenario_wide(self) -> None:
+        rng = self.rng
+        arr, length = self._pick_array()
+        w = self._name("w")
+        wp = self._name("wp")
+        self.body.append(decl(w, UINT,
+                              cast(UINT, cast(INTPTR, ident(arr)))))
+        self.body.append(decl(wp, ptr(INT), cast(ptr(INT), cast(INTPTR, ident(w)))))
+        # compare, do not dereference: every model loses address bits here,
+        # and the comparison result is identical (and explainable) everywhere
+        self._fold(binop("==", cast(INTPTR, ident(wp)), cast(INTPTR, ident(arr))))
+        self.features.append("wide")
+        self._checkpoint()
+
+
+def generate_program(corpus_seed: int, index: int) -> GeneratedProgram:
+    return ProgramGenerator(corpus_seed).generate(index)
+
+
+def generate_corpus(corpus_seed: int, count: int) -> list[GeneratedProgram]:
+    generator = ProgramGenerator(corpus_seed)
+    return [generator.generate(i) for i in range(count)]

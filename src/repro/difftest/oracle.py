@@ -1,0 +1,209 @@
+"""Divergence classification for differential sweeps.
+
+Every (program, model) cell is classified **relative to the PDP-11
+baseline** — the paper's "what the C programmer expected" interpretation —
+into a *total* taxonomy: there is no "unexplained" bucket, every outcome
+maps to exactly one category.
+
+Semantic channel vs output channel
+----------------------------------
+A program's *semantic* observables are its trap status, exit code and
+``mini_checkpoint`` stream; the generator guarantees these are independent
+of pointer layout.  Everything the program prints is the *output* channel,
+which legitimately depends on the ABI (``sizeof(int *)`` is 8 or 32).  The
+split is what separates the three divergence kinds the paper cares about:
+
+* ``trap:<cause>``    — the model rejected an idiom with a protection trap
+  (fail closed); ``cause`` is the structured trap category carried by
+  :class:`repro.common.errors.MemorySafetyError`;
+* ``corrupt``         — the model ran to completion but the semantic channel
+  differs (the idiom silently misbehaves: fail open — the worst cell);
+* ``benign``          — only the output channel differs (an ABI difference,
+  not a safety difference).
+
+Identical observables are ``agree``.  The long tail (baseline traps, budget
+exhaustion, compile failures) gets explicit categories rather than being
+folded into the interesting ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.idioms import TABLE_IDIOMS
+from repro.analysis.report import format_table5
+from repro.common.errors import (
+    InterpreterError,
+    MemorySafetyError,
+    UndefinedBehaviorError,
+)
+from repro.difftest.runner import ProgramResult
+from repro.interp.machine import ExecutionResult
+
+BASELINE = "pdp11"
+
+#: canonical category order for reports; `classify_results` only ever
+#: returns strings from this list (plus the dynamic `trap:*` refinements
+#: enumerated here).
+CATEGORIES = (
+    "agree",
+    "benign",
+    "corrupt",
+    "trap:bounds",
+    "trap:tag",
+    "trap:permission",
+    "trap:alignment",
+    "trap:uaf",
+    "trap:null",
+    "trap:segfault",
+    "trap:badfree",
+    "trap:ptrdiff",
+    "trap:safety",
+    "trap:ub",
+    "agree-trap",
+    "baseline-trap",
+    "escape",
+    "budget",
+    "error:interp",
+    "error:compile",
+)
+
+
+def trap_cause(trap: Exception) -> str:
+    """The structured trap category of an interpreter exception."""
+    if isinstance(trap, MemorySafetyError):
+        return trap.cause
+    if isinstance(trap, UndefinedBehaviorError):
+        return "ub"
+    if isinstance(trap, InterpreterError):
+        return "budget" if "instruction budget" in str(trap) else "interp"
+    return "interp"
+
+
+def _semantic_signature(result: ExecutionResult) -> tuple:
+    return (result.exit_code, tuple(result.checkpoints))
+
+
+def _cell(result: ExecutionResult, base: ExecutionResult | None, *,
+          is_baseline: bool) -> str:
+    """Classify one (program, model) outcome.  Every path returns a category
+    from :data:`CATEGORIES`, on every combination of (trapped?, baseline
+    trapped?, baseline present?) — the total-taxonomy contract lives here."""
+    if result.trapped:
+        if is_baseline:
+            return "baseline-trap"
+        cause = trap_cause(result.trap)
+        if cause == "budget":
+            return "budget"
+        if cause == "interp":
+            return "error:interp"
+        if base is not None and base.trapped and trap_cause(base.trap) == cause:
+            return "agree-trap"
+        return f"trap:{cause}"
+    if is_baseline or base is None:
+        return "agree"
+    if base.trapped:
+        return "escape"
+    if _semantic_signature(result) != _semantic_signature(base):
+        return "corrupt"
+    if result.output != base.output:
+        return "benign"
+    return "agree"
+
+
+def classify_results(program_result: ProgramResult, *, baseline: str = BASELINE) -> dict[str, str]:
+    """Classify every model's outcome for one program.  Total by design."""
+    base = program_result.results.get(baseline)
+    out = {name: "error:compile" for name in program_result.compile_errors}
+    for name, result in program_result.results.items():
+        out[name] = _cell(result, base, is_baseline=name == baseline)
+    return out
+
+
+def is_divergent(classification: dict[str, str]) -> bool:
+    return any(category not in ("agree", "agree-trap") for category in classification.values())
+
+
+def classify_sweep(program_results: list[ProgramResult], *,
+                   baseline: str = BASELINE) -> list[dict[str, str]]:
+    return [classify_results(r, baseline=baseline) for r in program_results]
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+def summarize(classifications: list[dict[str, str]]) -> dict[str, dict[str, int]]:
+    """``{model: {category: count}}`` over a sweep."""
+    totals: dict[str, Counter] = {}
+    for classification in classifications:
+        for model, category in classification.items():
+            totals.setdefault(model, Counter())[category] += 1
+    return {model: dict(counter) for model, counter in totals.items()}
+
+
+def feature_breakdown(programs, classifications: list[dict[str, str]]) -> dict:
+    """``{feature: {model: {category: count}}}`` over a sweep."""
+    table: dict[str, dict[str, Counter]] = {}
+    for program, classification in zip(programs, classifications):
+        for feature in program.features:
+            per_model = table.setdefault(feature, {})
+            for model, category in classification.items():
+                per_model.setdefault(model, Counter())[category] += 1
+    return {feature: {model: dict(counter) for model, counter in per_model.items()}
+            for feature, per_model in sorted(table.items())}
+
+
+def format_matrix(summary: dict[str, dict[str, int]],
+                  features: dict, *, meta: dict) -> str:
+    """Render the Table-5 matrix (delegates to the analysis report layer)."""
+    return format_table5(summary, features, meta=meta, category_order=CATEGORIES)
+
+
+def corpus_document(programs, program_results: list[ProgramResult],
+                    classifications: list[dict[str, str]], *, meta: dict) -> dict:
+    """The JSON corpus: sweep metadata plus every interesting seed.
+
+    Deterministic by construction — no timestamps, stable ordering — so two
+    identical sweeps serialize byte-identically.
+    """
+    divergent = []
+    for program, program_result, classification in zip(programs, program_results,
+                                                       classifications):
+        if not is_divergent(classification):
+            continue
+        base = program_result.results.get(BASELINE)
+        entry = {
+            "index": program.index,
+            "seed": f"{program.seed:#x}",
+            "features": list(program.features),
+            "classification": {m: classification[m] for m in sorted(classification)},
+            "kinds": sorted({category for category in classification.values()
+                             if category not in ("agree", "agree-trap")}),
+        }
+        if base is not None:
+            entry["heap_metric_deltas"] = {
+                model: {
+                    "allocations": result.allocations - base.allocations,
+                    "allocated_bytes": result.allocated_bytes - base.allocated_bytes,
+                }
+                for model, result in sorted(program_result.results.items())
+                if model != BASELINE
+                and (result.allocations != base.allocations
+                     or result.allocated_bytes != base.allocated_bytes)
+            }
+        if program_result.analysis is not None:
+            idioms = {idiom.name: program_result.analysis.count(idiom)
+                      for idiom in TABLE_IDIOMS
+                      if program_result.analysis.count(idiom)}
+            if idioms:
+                entry["idioms"] = idioms
+        divergent.append(entry)
+    return {
+        "meta": dict(sorted(meta.items())),
+        "summary": {model: dict(sorted(counts.items()))
+                    for model, counts in sorted(summarize(classifications).items())},
+        "features": feature_breakdown(programs, classifications),
+        "divergent": divergent,
+    }

@@ -1,0 +1,337 @@
+"""Delta-debugging shrinker for divergent generated programs.
+
+Given a program and a target ``(model, category)`` cell from the oracle, the
+reducer minimizes the program **at the AST level** while preserving the
+cell's classification, so every matrix entry can be backed by a small
+reproducer instead of a 100-line generated program.
+
+The passes, run to fixpoint:
+
+1. *ddmin over statements* — remove contiguous chunks of ``main``'s body
+   (halving granularity, the classic Zeller/Hildebrandt scheme) and, inside
+   surviving compound statements, of loop and branch bodies;
+2. *control-structure unwrapping* — replace a ``for``/``while``/``if`` by
+   its body (one unrolled iteration is often all the divergence needs);
+3. *expression simplification* — replace a binary expression by one of its
+   operands, drop casts, shrink integer literals toward zero;
+4. *dead top-level pruning* — drop helper functions, globals and struct
+   definitions no longer referenced by the surviving statements.
+
+Every candidate edit is validated by re-rendering and re-running under the
+baseline plus the target model only (two executions, not seven), so
+reduction stays cheap.  The whole process is deterministic: pass order is
+fixed and candidate order follows AST order.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.difftest.generator import GeneratedProgram
+from repro.difftest.oracle import BASELINE, classify_results
+from repro.difftest.runner import DifferentialRunner
+from repro.minic import astnodes as ast
+from repro.minic.unparse import unparse
+
+
+@dataclass
+class Reduction:
+    """Outcome of one reduction: the minimized program plus bookkeeping."""
+
+    program: GeneratedProgram
+    model: str
+    category: str
+    tests_run: int
+    original_statements: int
+    reduced_statements: int
+
+    @property
+    def source(self) -> str:
+        return self.program.source
+
+
+def _count_statements(node) -> int:
+    if isinstance(node, ast.TranslationUnit):
+        return sum(_count_statements(f) for f in node.functions) + len(node.declarations)
+    if isinstance(node, ast.FunctionDef):
+        return _count_statements(node.body)
+    if isinstance(node, ast.Block):
+        return sum(1 + _count_statements(s) for s in node.statements)
+    for attr in ("body", "then_branch", "else_branch"):
+        child = getattr(node, attr, None)
+        if child is not None:
+            return _count_statements(child)
+    return 0
+
+
+class _Reducer:
+    def __init__(self, program: GeneratedProgram, model: str, category: str,
+                 runner: DifferentialRunner) -> None:
+        self.model = model
+        self.category = category
+        self.runner = runner
+        self.tests_run = 0
+        self.current = copy.deepcopy(program)
+        self.current.invalidate_source()
+        if not self._holds(self.current):
+            raise ValueError(
+                f"program does not reproduce {category!r} under {model!r} to begin with")
+
+    # ------------------------------------------------------------------
+
+    def _holds(self, candidate: GeneratedProgram) -> bool:
+        self.tests_run += 1
+        candidate.invalidate_source()
+        try:
+            result = self.runner.run_program(
+                candidate, models=tuple(dict.fromkeys((BASELINE, self.model))))
+        except Exception:
+            return False
+        classification = classify_results(result)
+        return classification.get(self.model) == self.category
+
+    def _try(self, candidate: GeneratedProgram) -> bool:
+        if self._holds(candidate):
+            self.current = candidate
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Pass 1: ddmin over statement lists
+    # ------------------------------------------------------------------
+
+    def _blocks(self, unit: ast.TranslationUnit):
+        """Every mutable statement list in the unit, main's body first."""
+        out = []
+
+        def walk_stmt(stmt) -> None:
+            if isinstance(stmt, ast.Block):
+                out.append(stmt.statements)
+                for child in stmt.statements:
+                    walk_stmt(child)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                walk_stmt(stmt.body)
+            elif isinstance(stmt, ast.If):
+                walk_stmt(stmt.then_branch)
+                walk_stmt(stmt.else_branch)
+            elif stmt is None:
+                return
+
+        for function in reversed(unit.functions):   # main is last
+            if function.body is not None:
+                out.append(function.body.statements)
+                for child in function.body.statements:
+                    walk_stmt(child)
+        return out
+
+    def _ddmin_pass(self) -> bool:
+        shrunk = False
+        block_index = 0
+        while True:
+            blocks = self._blocks(self.current.unit)
+            if block_index >= len(blocks):
+                return shrunk
+            statements = blocks[block_index]
+            chunk = max(len(statements) // 2, 1)
+            while chunk >= 1 and statements:
+                start = 0
+                while start < len(statements):
+                    candidate = copy.deepcopy(self.current)
+                    cand_block = self._blocks(candidate.unit)[block_index]
+                    del cand_block[start:start + chunk]
+                    if self._try(candidate):
+                        statements = self._blocks(self.current.unit)[block_index]
+                        shrunk = True
+                    else:
+                        start += chunk
+                chunk //= 2
+            block_index += 1
+
+    # ------------------------------------------------------------------
+    # Pass 2: unwrap control structures
+    # ------------------------------------------------------------------
+
+    def _unwrap_pass(self) -> bool:
+        shrunk = False
+        progress = True
+        while progress:
+            progress = False
+            blocks = self._blocks(self.current.unit)
+            for block_index, statements in enumerate(blocks):
+                for i, stmt in enumerate(statements):
+                    replacement = None
+                    if isinstance(stmt, (ast.For, ast.While)) and \
+                            isinstance(stmt.body, ast.Block):
+                        replacement = list(stmt.body.statements)
+                        if isinstance(stmt, ast.For) and stmt.init is not None:
+                            replacement = [stmt.init] + replacement
+                    elif isinstance(stmt, ast.If) and isinstance(stmt.then_branch, ast.Block):
+                        replacement = list(stmt.then_branch.statements)
+                    if replacement is None:
+                        continue
+                    candidate = copy.deepcopy(self.current)
+                    cand_block = self._blocks(candidate.unit)[block_index]
+                    cand_block[i:i + 1] = copy.deepcopy(replacement)
+                    if self._try(candidate):
+                        shrunk = progress = True
+                        break
+                if progress:
+                    break
+        return shrunk
+
+    # ------------------------------------------------------------------
+    # Pass 3: expression simplification
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _site_get(container, key):
+        return container[key] if isinstance(container, list) else getattr(container, key)
+
+    @staticmethod
+    def _site_set(container, key, value) -> None:
+        if isinstance(container, list):
+            container[key] = value
+        else:
+            setattr(container, key, value)
+
+    def _expr_sites(self, unit: ast.TranslationUnit):
+        """(container, key) pairs addressing every expression slot, AST order."""
+        sites: list[tuple] = []
+
+        def visit_expr(container, key) -> None:
+            node = self._site_get(container, key)
+            if not isinstance(node, ast.Expr):
+                return
+            sites.append((container, key))
+            for child_key in ("operand", "left", "right", "target", "value",
+                              "condition", "then_value", "else_value",
+                              "base", "index"):
+                if hasattr(node, child_key):
+                    visit_expr(node, child_key)
+            if isinstance(node, ast.Call):
+                for i in range(len(node.args)):
+                    visit_expr(node.args, i)
+
+        def visit_stmt(stmt) -> None:
+            if stmt is None:
+                return
+            if isinstance(stmt, ast.Block):
+                for child in stmt.statements:
+                    visit_stmt(child)
+            elif isinstance(stmt, ast.ExprStmt):
+                visit_expr(stmt, "expr")
+            elif isinstance(stmt, ast.Declaration):
+                visit_expr(stmt, "initializer")
+            elif isinstance(stmt, ast.If):
+                visit_expr(stmt, "condition")
+                visit_stmt(stmt.then_branch)
+                visit_stmt(stmt.else_branch)
+            elif isinstance(stmt, ast.While):
+                visit_expr(stmt, "condition")
+                visit_stmt(stmt.body)
+            elif isinstance(stmt, ast.For):
+                visit_stmt(stmt.init)
+                visit_expr(stmt, "condition")
+                visit_expr(stmt, "step")
+                visit_stmt(stmt.body)
+            elif isinstance(stmt, ast.Return):
+                visit_expr(stmt, "value")
+
+        for function in unit.functions:
+            if function.body is not None:
+                visit_stmt(function.body)
+        return sites
+
+    def _simplify_pass(self) -> bool:
+        shrunk = False
+        progress = True
+        while progress:
+            progress = False
+            sites = self._expr_sites(self.current.unit)
+            for site_index, (container, key) in enumerate(sites):
+                node = self._site_get(container, key)
+                replacements: list[ast.Expr] = []
+                if isinstance(node, ast.Binary):
+                    replacements = [node.left, node.right]
+                elif isinstance(node, ast.Cast):
+                    replacements = [node.operand]
+                elif isinstance(node, ast.Conditional):
+                    replacements = [node.then_value, node.else_value]
+                elif isinstance(node, ast.IntLiteral) and node.value not in (0, 1):
+                    replacements = [ast.IntLiteral(value=0), ast.IntLiteral(value=1)]
+                for replacement in replacements:
+                    candidate = copy.deepcopy(self.current)
+                    cand_container, cand_key = self._expr_sites(candidate.unit)[site_index]
+                    self._site_set(cand_container, cand_key, copy.deepcopy(replacement))
+                    if self._try(candidate):
+                        shrunk = progress = True
+                        break
+                if progress:
+                    break
+        return shrunk
+
+    # ------------------------------------------------------------------
+    # Pass 4: prune unreferenced top-level entities
+    # ------------------------------------------------------------------
+
+    def _prune_pass(self) -> bool:
+        shrunk = False
+        changed = True
+        while changed:
+            changed = False
+            unit = self.current.unit
+            for i, function in enumerate(unit.functions[:-1]):   # never drop main
+                candidate = copy.deepcopy(self.current)
+                del candidate.unit.functions[i]
+                if self._try(candidate):
+                    shrunk = changed = True
+                    break
+            if changed:
+                continue
+            for i in range(len(unit.declarations)):
+                candidate = copy.deepcopy(self.current)
+                del candidate.unit.declarations[i]
+                if self._try(candidate):
+                    shrunk = changed = True
+                    break
+            if changed:
+                continue
+            for i in range(len(self.current.structs)):
+                candidate = copy.deepcopy(self.current)
+                del candidate.structs[i]
+                if self._try(candidate):
+                    shrunk = changed = True
+                    break
+        return shrunk
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> GeneratedProgram:
+        progress = True
+        while progress:
+            progress = False
+            progress |= self._ddmin_pass()
+            progress |= self._unwrap_pass()
+            progress |= self._simplify_pass()
+            progress |= self._prune_pass()
+        self.current.invalidate_source()
+        return self.current
+
+
+def reduce_program(program: GeneratedProgram, model: str, category: str, *,
+                   runner: DifferentialRunner | None = None) -> Reduction:
+    """Minimize ``program`` while it still classifies as ``category`` under
+    ``model`` (vs the PDP-11 baseline)."""
+    runner = runner or DifferentialRunner(analyze=False)
+    original_statements = _count_statements(program.unit)
+    reducer = _Reducer(program, model, category, runner)
+    reduced = reducer.run()
+    return Reduction(
+        program=reduced,
+        model=model,
+        category=category,
+        tests_run=reducer.tests_run,
+        original_statements=original_statements,
+        reduced_statements=_count_statements(reduced.unit),
+    )

@@ -178,7 +178,7 @@ class AbstractMachine:
         obj = pointer.obj or self.allocator.find(pointer.address)
         if obj is None or obj.kind != "heap":
             raise MemorySafetyError(f"free() of a non-heap pointer at {pointer.address:#x}",
-                                    address=pointer.address)
+                                    address=pointer.address, cause="badfree")
         self.allocator.free(obj)
 
     def read_checked_bytes(self, pointer: PtrVal, length: int) -> bytes:

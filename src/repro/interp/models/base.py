@@ -181,7 +181,7 @@ class MemoryModel:
         address = ptr.address
         obj = ptr.obj
         if address == 0 and obj is None:
-            raise MemorySafetyError("dereference of a null pointer", address=0)
+            raise MemorySafetyError("dereference of a null pointer", address=0, cause="null")
         if not ptr.tag:
             self.traps += 1
             raise TagViolation(f"dereference of an invalid pointer at {address:#x}",
@@ -195,7 +195,8 @@ class MemoryModel:
                                       address=address)
         if obj is not None and getattr(obj, "freed", False):
             self.traps += 1
-            raise MemorySafetyError(f"use of {obj} after its lifetime ended", address=address)
+            raise MemorySafetyError(f"use of {obj} after its lifetime ended", address=address,
+                                    cause="uaf")
         base = ptr.base
         if not (base <= address and address + size <= base + ptr.length):
             self.traps += 1

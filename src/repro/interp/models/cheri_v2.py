@@ -56,7 +56,8 @@ class CheriV2Model(MemoryModel):
     def ptr_diff(self, a: PtrVal, b: PtrVal, element_size: int) -> int:
         self.traps += 1
         raise MemorySafetyError(
-            "pointer subtraction is not supported by the CHERIv2 capability model"
+            "pointer subtraction is not supported by the CHERIv2 capability model",
+            cause="ptrdiff",
         )
 
     def int_to_ptr(self, value: IntVal, allocator: ObjectAllocator) -> PtrVal:

@@ -53,6 +53,7 @@ class Pdp11Model(MemoryModel):
         if ptr.address < 4096:
             self.traps += 1
             raise MemorySafetyError(
-                f"segmentation fault: access to {ptr.address:#x}", address=ptr.address
+                f"segmentation fault: access to {ptr.address:#x}", address=ptr.address,
+                cause="segfault",
             )
         return ptr.address

@@ -44,6 +44,7 @@ from repro.minic.parser import Parser, parse
 from repro.minic.ir import Module, Function, Instr, Opcode, Temp, Const, GlobalRef
 from repro.minic.irgen import IrGenerator, compile_source
 from repro.minic.optimizer import optimize_module
+from repro.minic.unparse import unparse
 
 __all__ = [
     "CType",
@@ -70,4 +71,5 @@ __all__ = [
     "IrGenerator",
     "compile_source",
     "optimize_module",
+    "unparse",
 ]

@@ -155,6 +155,9 @@ class Lexer:
 
     def _lex_number(self, line: int, column: int) -> Token:
         src = self._source
+        if src.startswith(("0x", "0X"), self._pos) and not _HEX_RE.match(src, self._pos):
+            # `0x` with no digits would otherwise lex as `0` + identifier `x...`
+            raise self._error("malformed hex literal (no digits after 0x)")
         for pattern, base in ((_HEX_RE, 16), (_OCT_RE, 8), (_DEC_RE, 10)):
             match = pattern.match(src, self._pos)
             if match:
@@ -177,6 +180,11 @@ class Lexer:
         out = []
         while pos < len(src) and src[pos] != '"':
             ch = src[pos]
+            if ch == "\n":
+                # C strings do not span lines; diagnosing here turns the
+                # classic forgotten-quote mistake into a precise error
+                # instead of swallowing the rest of the file
+                raise self._error("unterminated string literal (newline in string)")
             if ch == "\\":
                 pos += 1
                 if pos >= len(src):
@@ -187,7 +195,9 @@ class Lexer:
                     while pos + 1 < len(src) and src[pos + 1] in "0123456789abcdefABCDEF":
                         pos += 1
                         hex_digits += src[pos]
-                    out.append(chr(int(hex_digits, 16)))
+                    if not hex_digits:
+                        raise self._error("\\x escape with no hex digits")
+                    out.append(chr(int(hex_digits, 16) & 0xFF))
                 else:
                     out.append(self._ESCAPES.get(escape, escape))
             else:

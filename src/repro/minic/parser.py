@@ -46,6 +46,13 @@ _TYPE_KEYWORDS = {
     "static", "extern", "register", "inline",
 }
 
+#: maximum combined statement/expression nesting depth.  The recursive
+#: descent uses a handful of CPython frames per level, so unguarded input
+#: like ``((((...))))`` or ``{{{{...}}}}`` would surface as a raw
+#: ``RecursionError`` instead of a diagnostic; 100 levels is far beyond any
+#: real program while staying well inside the default interpreter stack.
+_MAX_NESTING = 100
+
 
 def parse(source: str, *, context: TypeContext | None = None) -> tuple[ast.TranslationUnit, TypeContext]:
     """Parse a mini-C source string; returns the AST and the type context."""
@@ -61,6 +68,13 @@ class Parser:
         self._tokens = Lexer(source).tokenize()
         self._pos = 0
         self._ctx = context
+        self._depth = 0
+
+    def _descend(self) -> None:
+        """Bump the nesting depth; structured diagnostic past the limit."""
+        self._depth += 1
+        if self._depth > _MAX_NESTING:
+            raise self._error(f"nesting deeper than {_MAX_NESTING} levels")
 
     # ------------------------------------------------------------------
     # Token helpers
@@ -360,6 +374,13 @@ class Parser:
         return block
 
     def _parse_statement(self) -> ast.Stmt:
+        self._descend()
+        try:
+            return self._parse_statement_inner()
+        finally:
+            self._depth -= 1
+
+    def _parse_statement_inner(self) -> ast.Stmt:
         token = self._current
         if token.is_punct("{"):
             return self._parse_block()
@@ -512,6 +533,13 @@ class Parser:
             left = ast.Binary(op=token.text, left=left, right=right, line=token.line)
 
     def _parse_unary(self) -> ast.Expr:
+        self._descend()
+        try:
+            return self._parse_unary_inner()
+        finally:
+            self._depth -= 1
+
+    def _parse_unary_inner(self) -> ast.Expr:
         token = self._current
         if token.kind is TokenKind.PUNCT and token.text in ("-", "+", "!", "~", "*", "&"):
             self._advance()

@@ -1,0 +1,331 @@
+"""AST-to-source rendering for mini-C.
+
+The differential-testing subsystem (:mod:`repro.difftest`) builds programs
+directly as :mod:`repro.minic.astnodes` trees — well-formed and well-typed by
+construction — and the delta-debugging reducer shrinks those trees.  Both
+need a way back to concrete syntax so the ordinary ``parse -> irgen``
+pipeline (the same one every workload and test uses) can compile them.
+
+``unparse`` is therefore written to be *round-trip safe*: every construct it
+emits is inside the grammar :mod:`repro.minic.parser` accepts, and operator
+precedence is made explicit with parentheses whenever an operand binds more
+loosely than its context requires.  Struct and union definitions do not
+appear in the AST (the parser registers them in the :class:`TypeContext` as
+a side effect), so callers pass the :class:`StructType` objects to emit as a
+preamble.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CompilationError
+from repro.minic import astnodes as ast
+from repro.minic.typesys import (
+    ArrayType,
+    CType,
+    IntType,
+    PointerType,
+    Qualifiers,
+    StructType,
+    VoidType,
+)
+
+#: precedence levels mirroring the parser's table, extended with the levels
+#: the parser handles structurally (assignment, conditional, unary, postfix).
+_PREC_ASSIGN = 0
+_PREC_COND = 1
+_BINARY_PRECEDENCE = {
+    "||": 2,
+    "&&": 3,
+    "|": 4,
+    "^": 5,
+    "&": 6,
+    "==": 7, "!=": 7,
+    "<": 8, ">": 8, "<=": 8, ">=": 8,
+    "<<": 9, ">>": 9,
+    "+": 10, "-": 10,
+    "*": 11, "/": 11, "%": 11,
+}
+_PREC_UNARY = 12
+_PREC_POSTFIX = 13
+_PREC_PRIMARY = 14
+
+_STRING_ESCAPES = {
+    "\n": "\\n", "\t": "\\t", "\r": "\\r", "\0": "\\0", "\\": "\\\\",
+    '"': '\\"', "\a": "\\a", "\b": "\\b", "\f": "\\f", "\v": "\\v",
+}
+
+
+def type_to_str(ctype: CType) -> str:
+    """Render an abstract type (cast / sizeof position)."""
+    if isinstance(ctype, PointerType):
+        return f"{type_to_str(ctype.pointee)} *"
+    if isinstance(ctype, StructType):
+        kind = "union" if ctype.is_union else "struct"
+        return f"{kind} {ctype.tag}"
+    if isinstance(ctype, IntType):
+        prefix = "const " if ctype.is_const else ""
+        return prefix + ctype.name
+    if isinstance(ctype, VoidType):
+        return "void"
+    if isinstance(ctype, ArrayType):
+        # abstract array types only appear via sizeof(expr) in practice
+        return f"{type_to_str(ctype.element)} *"
+    raise CompilationError(f"cannot render type {ctype!r}")
+
+
+def declarator_to_str(ctype: CType, name: str) -> str:
+    """Render a declaration of ``name`` with type ``ctype``."""
+    suffix = ""
+    while isinstance(ctype, ArrayType):
+        suffix += f"[{ctype.count}]"
+        ctype = ctype.element
+    stars = ""
+    while isinstance(ctype, PointerType):
+        stars = "*" + stars
+        ctype = ctype.pointee
+    base = type_to_str(ctype)
+    return f"{base} {stars}{name}{suffix}"
+
+
+def struct_definition(struct: StructType) -> str:
+    kind = "union" if struct.is_union else "struct"
+    lines = [f"{kind} {struct.tag} {{"]
+    for field in struct.fields:
+        lines.append(f"    {declarator_to_str(field.ctype, field.name)};")
+    lines.append("};")
+    return "\n".join(lines)
+
+
+class Unparser:
+    """Stateless-ish renderer; one instance per translation unit."""
+
+    def __init__(self, indent: str = "    ") -> None:
+        self._indent = indent
+        self._lines: list[str] = []
+        self._level = 0
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def expr(self, node: ast.Expr, min_prec: int = _PREC_ASSIGN) -> str:
+        text, prec = self._expr(node)
+        if prec < min_prec:
+            return f"({text})"
+        return text
+
+    def _expr(self, node: ast.Expr) -> tuple[str, int]:
+        if isinstance(node, ast.IntLiteral):
+            if node.value < 0:
+                return f"-{-node.value}", _PREC_UNARY
+            return str(node.value), _PREC_PRIMARY
+        if isinstance(node, ast.CharLiteral):
+            ch = chr(node.value & 0xFF)
+            if ch == "'":
+                return r"'\''", _PREC_PRIMARY
+            if ch == '"':
+                return "'\"'", _PREC_PRIMARY
+            if ch in _STRING_ESCAPES:
+                return f"'{_STRING_ESCAPES[ch]}'", _PREC_PRIMARY
+            if 32 <= node.value < 127:
+                return f"'{ch}'", _PREC_PRIMARY
+            return str(node.value), _PREC_PRIMARY
+        if isinstance(node, ast.StringLiteral):
+            pieces: list[str] = []
+            hex_open = False  # previous piece was a \xNN escape
+            for ch in node.value:
+                if ord(ch) >= 32 or ch in _STRING_ESCAPES:
+                    if hex_open and ch in "0123456789abcdefABCDEF":
+                        # the lexer's \x escape is greedy: split into
+                        # adjacent literals ("\x01" "ab") so NN stays two
+                        # digits on the way back in
+                        pieces.append('" "')
+                    pieces.append(_STRING_ESCAPES.get(ch, ch))
+                    hex_open = False
+                else:
+                    if hex_open:
+                        pieces.append('" "')
+                    pieces.append(f"\\x{ord(ch):02x}")
+                    hex_open = True
+            return f'"{"".join(pieces)}"', _PREC_PRIMARY
+        if isinstance(node, ast.Identifier):
+            return node.name, _PREC_PRIMARY
+        if isinstance(node, ast.Unary):
+            operand = self.expr(node.operand, _PREC_UNARY)
+            # avoid `--x` / `+ +x` ambiguity when the operand renders with the
+            # same leading sign
+            if node.op in "+-" and operand.startswith(node.op):
+                operand = f"({operand})"
+            return f"{node.op}{operand}", _PREC_UNARY
+        if isinstance(node, ast.IncDec):
+            if node.is_prefix:
+                return f"{node.op}{self.expr(node.operand, _PREC_UNARY)}", _PREC_UNARY
+            return f"{self.expr(node.operand, _PREC_POSTFIX)}{node.op}", _PREC_POSTFIX
+        if isinstance(node, ast.Binary):
+            prec = _BINARY_PRECEDENCE[node.op]
+            left = self.expr(node.left, prec)
+            right = self.expr(node.right, prec + 1)
+            return f"{left} {node.op} {right}", prec
+        if isinstance(node, ast.Assign):
+            target = self.expr(node.target, _PREC_UNARY)
+            value = self.expr(node.value, _PREC_ASSIGN)
+            return f"{target} {node.op} {value}", _PREC_ASSIGN
+        if isinstance(node, ast.Conditional):
+            condition = self.expr(node.condition, _PREC_COND + 1)
+            then_value = self.expr(node.then_value, _PREC_ASSIGN)
+            else_value = self.expr(node.else_value, _PREC_COND)
+            return f"{condition} ? {then_value} : {else_value}", _PREC_COND
+        if isinstance(node, ast.Cast):
+            operand = self.expr(node.operand, _PREC_UNARY)
+            return f"({type_to_str(node.target_type)}){operand}", _PREC_UNARY
+        if isinstance(node, ast.SizeofType):
+            return f"sizeof({type_to_str(node.target_type)})", _PREC_PRIMARY
+        if isinstance(node, ast.SizeofExpr):
+            return f"sizeof({self.expr(node.operand)})", _PREC_UNARY
+        if isinstance(node, ast.OffsetOf):
+            return f"offsetof({type_to_str(node.target_type)}, {node.member})", _PREC_PRIMARY
+        if isinstance(node, ast.Call):
+            args = ", ".join(self.expr(arg) for arg in node.args)
+            return f"{node.callee}({args})", _PREC_POSTFIX
+        if isinstance(node, ast.Index):
+            base = self.expr(node.base, _PREC_POSTFIX)
+            return f"{base}[{self.expr(node.index)}]", _PREC_POSTFIX
+        if isinstance(node, ast.Member):
+            base = self.expr(node.base, _PREC_POSTFIX)
+            op = "->" if node.arrow else "."
+            return f"{base}{op}{node.member}", _PREC_POSTFIX
+        raise CompilationError(f"cannot render expression node {node!r}")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self._lines.append(self._indent * self._level + text if text else "")
+
+    def stmt(self, node: ast.Stmt) -> None:
+        if isinstance(node, ast.Declaration):
+            decl = declarator_to_str(node.ctype, node.name)
+            if node.array_initializer is not None:
+                values = ", ".join(self.expr(v) for v in node.array_initializer)
+                self._emit(f"{decl} = {{{values}}};")
+            elif node.initializer is not None:
+                self._emit(f"{decl} = {self.expr(node.initializer)};")
+            else:
+                self._emit(f"{decl};")
+            return
+        if isinstance(node, ast.Block):
+            if node.transparent:
+                for child in node.statements:
+                    self.stmt(child)
+                return
+            self._emit("{")
+            self._level += 1
+            for child in node.statements:
+                self.stmt(child)
+            self._level -= 1
+            self._emit("}")
+            return
+        if isinstance(node, ast.ExprStmt):
+            self._emit(f"{self.expr(node.expr)};" if node.expr is not None else ";")
+            return
+        if isinstance(node, ast.If):
+            self._emit(f"if ({self.expr(node.condition)}) {{")
+            self._level += 1
+            self._stmt_as_body(node.then_branch)
+            self._level -= 1
+            if node.else_branch is not None:
+                self._emit("} else {")
+                self._level += 1
+                self._stmt_as_body(node.else_branch)
+                self._level -= 1
+            self._emit("}")
+            return
+        if isinstance(node, ast.While):
+            self._emit(f"while ({self.expr(node.condition)}) {{")
+            self._level += 1
+            self._stmt_as_body(node.body)
+            self._level -= 1
+            self._emit("}")
+            return
+        if isinstance(node, ast.For):
+            init = ""
+            if isinstance(node.init, ast.Declaration):
+                # render inline without the trailing newline machinery
+                sub = Unparser(self._indent)
+                sub.stmt(node.init)
+                init = sub.text().strip().rstrip(";")
+            elif isinstance(node.init, ast.ExprStmt) and node.init.expr is not None:
+                init = self.expr(node.init.expr)
+            condition = self.expr(node.condition) if node.condition is not None else ""
+            step = self.expr(node.step) if node.step is not None else ""
+            self._emit(f"for ({init}; {condition}; {step}) {{")
+            self._level += 1
+            self._stmt_as_body(node.body)
+            self._level -= 1
+            self._emit("}")
+            return
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                self._emit("return;")
+            else:
+                self._emit(f"return {self.expr(node.value)};")
+            return
+        if isinstance(node, ast.Break):
+            self._emit("break;")
+            return
+        if isinstance(node, ast.Continue):
+            self._emit("continue;")
+            return
+        raise CompilationError(f"cannot render statement node {node!r}")
+
+    def _stmt_as_body(self, node: ast.Stmt | None) -> None:
+        """Render a loop/if body, flattening a non-transparent Block one level."""
+        if node is None:
+            return
+        if isinstance(node, ast.Block) and not node.transparent:
+            for child in node.statements:
+                self.stmt(child)
+        else:
+            self.stmt(node)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def function(self, function: ast.FunctionDef) -> None:
+        return_type = type_to_str(function.return_type) if function.return_type else "void"
+        if function.params:
+            params = ", ".join(declarator_to_str(p.ctype, p.name) for p in function.params)
+        else:
+            params = "void"
+        if function.variadic:
+            params += ", ..."
+        self._emit(f"{return_type} {function.name}({params}) {{")
+        self._level += 1
+        if function.body is not None:
+            for child in function.body.statements:
+                self.stmt(child)
+        self._level -= 1
+        self._emit("}")
+
+    def text(self) -> str:
+        return "\n".join(self._lines)
+
+
+def unparse(unit: ast.TranslationUnit, *, structs: list[StructType] | None = None,
+            header: str = "") -> str:
+    """Render a translation unit (plus struct preamble) back to mini-C source."""
+    parts: list[str] = []
+    if header:
+        parts.append("".join(f"/* {line} */\n" for line in header.splitlines()))
+    for struct in structs or ():
+        parts.append(struct_definition(struct) + "\n")
+    renderer = Unparser()
+    for declaration in unit.declarations:
+        renderer.stmt(declaration)
+    for function in unit.functions:
+        renderer.function(function)
+        renderer._emit("")
+    parts.append(renderer.text())
+    return "\n".join(parts).rstrip() + "\n"

@@ -1,0 +1,131 @@
+"""Front-end error paths: malformed mini-C must raise structured diagnostics.
+
+Every failure mode — lexical, syntactic, semantic, resource (nesting depth)
+— must surface as a :class:`repro.common.errors.CompilationError` subclass
+with source coordinates, never as a raw Python traceback
+(``RecursionError``, ``ValueError``, ``IndexError``...).  The differential
+fuzzing subsystem leans on this: its oracle treats ``CompilationError`` as a
+classified outcome and anything else as a bug in the front end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    CompilationError,
+    LexError,
+    ParseError,
+    TypeCheckError,
+)
+from repro.minic.irgen import compile_source
+
+# ---------------------------------------------------------------------------
+# Lexical errors
+# ---------------------------------------------------------------------------
+
+LEX_CASES = {
+    "unterminated string": 'int main(void) { puts("abc); return 0; }',
+    "newline inside string": 'int main(void) { puts("abc\ndef"); return 0; }',
+    "\\x escape with no digits": r'int main(void) { puts("a\x"); return 0; }',
+    "unterminated block comment": "int main(void) { /* comment",
+    "hex literal with no digits": "int main(void) { int x = 0x; return x; }",
+    "unterminated char literal": "int main(void) { int c = 'a; return 0; }",
+    "unexpected character": "int main(void) { int x = 1 @ 2; return x; }",
+}
+
+
+@pytest.mark.parametrize("source", LEX_CASES.values(), ids=LEX_CASES.keys())
+def test_lexical_errors_are_structured(source):
+    with pytest.raises(LexError) as excinfo:
+        compile_source(source)
+    assert excinfo.value.line is not None
+
+
+def test_hex_escape_is_masked_to_a_byte():
+    module = compile_source(r'char *s = "\xff";')
+    assert module is not None
+
+
+# ---------------------------------------------------------------------------
+# Syntactic errors, including resource limits
+# ---------------------------------------------------------------------------
+
+PARSE_CASES = {
+    "missing semicolon": "int main(void) { int x = 1 return x; }",
+    "missing close paren": "int main(void) { return (1 + 2; }",
+    "array size must be literal": "int main(void) { int n = 4; int a[n]; return 0; }",
+    "bare expression at top level": "1 + 2;",
+    "do without while": "int main(void) { do { } return 0; }",
+}
+
+
+@pytest.mark.parametrize("source", PARSE_CASES.values(), ids=PARSE_CASES.keys())
+def test_parse_errors_are_structured(source):
+    with pytest.raises(ParseError):
+        compile_source(source)
+
+
+@pytest.mark.parametrize("payload", [
+    "(" * 300 + "1" + ")" * 300,
+    "!" * 400 + "1",
+], ids=["deep parentheses", "deep unary chain"])
+def test_deep_expression_nesting_is_a_diagnostic_not_a_recursionerror(payload):
+    with pytest.raises(ParseError, match="nesting deeper"):
+        compile_source("int main(void) { return " + payload + "; }")
+
+
+def test_deep_block_nesting_is_a_diagnostic_not_a_recursionerror():
+    source = "int main(void) { " + "{" * 300 + "}" * 300 + " return 0; }"
+    with pytest.raises(ParseError, match="nesting deeper"):
+        compile_source(source)
+
+
+def test_reasonable_nesting_still_parses():
+    source = "int main(void) { return " + "(" * 40 + "1" + ")" * 40 + "; }"
+    assert compile_source(source) is not None
+
+
+# ---------------------------------------------------------------------------
+# Semantic errors
+# ---------------------------------------------------------------------------
+
+TYPE_CASES = {
+    "undeclared identifier": "int main(void) { return nope; }",
+    "unknown struct member":
+        "struct S { int a; }; int main(void) { struct S s; return s.b; }",
+    "call to undeclared function": "int main(void) { return f(1); }",
+    "break outside loop": "int main(void) { break; return 0; }",
+    "continue outside loop": "int main(void) { continue; return 0; }",
+    "incomplete struct": "struct S; int main(void) { struct S s; return 0; }",
+    "assignment to rvalue": "int main(void) { 4 = 5; return 0; }",
+    "dereference of non-pointer": "int main(void) { int x = 3; return *x; }",
+    "member of non-struct": "int main(void) { int x; return x.f; }",
+    "arrow on non-pointer": "int main(void) { int x; return x->f; }",
+    "offsetof unknown member":
+        "struct S { int a; }; int main(void) { return offsetof(struct S, b); }",
+    "struct/int conversion":
+        "struct S { int a; }; struct S g(void) { return 3; } int main(void) { return 0; }",
+}
+
+
+@pytest.mark.parametrize("source", TYPE_CASES.values(), ids=TYPE_CASES.keys())
+def test_type_errors_are_structured(source):
+    with pytest.raises(TypeCheckError):
+        compile_source(source)
+
+
+# ---------------------------------------------------------------------------
+# The umbrella property
+# ---------------------------------------------------------------------------
+
+
+def test_every_malformed_case_raises_a_compilation_error():
+    """The oracle-facing contract: CompilationError or nothing."""
+    for source in [*LEX_CASES.values(), *PARSE_CASES.values(), *TYPE_CASES.values()]:
+        try:
+            compile_source(source)
+        except CompilationError:
+            pass
+        except Exception as exc:  # pragma: no cover - a real failure
+            pytest.fail(f"raw {type(exc).__name__} leaked for: {source!r}")
