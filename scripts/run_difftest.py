@@ -16,7 +16,7 @@ run the sweep twice and the files are identical.
 
 Usage::
 
-    PYTHONPATH=src python scripts/run_difftest.py --seed 0 --count 500
+    PYTHONPATH=src python scripts/run_difftest.py --seed 0 --count 1000
     PYTHONPATH=src python scripts/run_difftest.py --count 64 --models pdp11,cheri_v3
 """
 
@@ -47,8 +47,8 @@ from repro.interp.models import PAPER_MODEL_ORDER  # noqa: E402
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=0, help="corpus seed (default 0)")
-    parser.add_argument("--count", type=int, default=500,
-                        help="number of generated programs (default 500)")
+    parser.add_argument("--count", type=int, default=1000,
+                        help="number of generated programs (default 1000)")
     parser.add_argument("--models", default=",".join(PAPER_MODEL_ORDER),
                         help="comma-separated model names (default: all seven)")
     parser.add_argument("--budget", type=int, default=None,

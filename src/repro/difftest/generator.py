@@ -23,6 +23,9 @@ Two invariants matter for the differential oracle:
 
 Determinism: a program is a pure function of ``(corpus_seed, index)`` via a
 splitmix-style derivation into :class:`repro.common.rng.DeterministicRng`.
+The full scenario catalogue — including v2's stack-escape, GC-shaped heap
+churn, ``__capability``-qualified pointer and string-intrinsic templates —
+is documented in ``docs/difftest.md``.
 """
 
 from __future__ import annotations
@@ -44,8 +47,11 @@ from repro.minic.typesys import (
 from repro.minic.unparse import unparse
 
 #: bump when generated programs change shape; recorded in the corpus JSON so
-#: stale goldens fail loudly instead of mysteriously.
-GENERATOR_VERSION = 1
+#: stale goldens fail loudly instead of mysteriously.  v2 added the
+#: stack-escape, gc_churn, qualified-pointer and string-intrinsic scenario
+#: templates (every classification golden was re-pinned with the shift
+#: explained as a semantic diff).
+GENERATOR_VERSION = 2
 
 _MASK64 = mask(64)
 
@@ -198,6 +204,9 @@ class ProgramGenerator:
         ("memcpy_alias", 2),
         ("layout_probe", 2),
         ("abi_assume", 2),
+        ("string_ops", 2),
+        ("gc_churn", 2),
+        ("qualified", 2),
         ("wide", 1),
     )
 
@@ -211,6 +220,7 @@ class ProgramGenerator:
         ("uaf", 2),
         ("ptr_launder_copy", 2),
         ("helper_oob", 2),
+        ("stack_escape", 2),
         ("deconst", 1),
     )
 
@@ -696,6 +706,157 @@ class ProgramGenerator:
             cast(INT, ast.SizeofType(target_type=ptr(INT))),
             cast(INT, ast.SizeofType(target_type=INTPTR))))
         self.features.append("layout_probe")
+
+    def _scenario_string_ops(self) -> None:
+        """C string intrinsics over a correctly-sized stack buffer.
+
+        ``strcpy``/``strcat``/``strlen``/``strcmp`` results are
+        layout-independent (lengths and sign comparisons), so they feed the
+        semantic checksum; the ``strchr`` fold subtracts two pointers — the
+        paper's SUB idiom — which CHERIv2 rejects with a ``ptrdiff`` trap.
+        """
+        rng = self.rng
+        buf = self._name("sb")
+        word = "".join(chr(rng.randint(97, 122)) for _ in range(rng.randint(3, 5)))
+        tail = "".join(chr(rng.randint(97, 122)) for _ in range(rng.randint(2, 4)))
+        self.body.append(decl(buf, ArrayType(element=CHAR, count=16)))
+        self.body.append(call_stmt("strcpy", ident(buf), ast.StringLiteral(value=word)))
+        self.body.append(call_stmt("strcat", ident(buf), ast.StringLiteral(value=tail)))
+        self._fold(call("strlen", ident(buf)))
+        self._fold(call("strcmp", ident(buf), ast.StringLiteral(value=word)))
+        needle = word[rng.randint(0, len(word) - 1)]
+        self._fold(binop("-", call("strchr", ident(buf), ast.CharLiteral(value=ord(needle))),
+                         ident(buf)))
+        self.features.append("string_ops")
+        self._checkpoint()
+
+    def _ensure_node_struct(self) -> StructType:
+        """A self-referential linked-list node (the GC workload shape)."""
+        for struct in self.structs:
+            if struct.tag == "N0":
+                return struct
+        node = StructType(tag="N0", complete=True, fields=[])
+        node.fields = [StructField(name="val", ctype=LONG),
+                       StructField(name="next", ctype=ptr(node))]
+        self.structs.append(node)
+        return node
+
+    def _scenario_gc_churn(self) -> None:
+        """Heap churn in the collector's shape: build a linked list, traverse
+        it, launder the head address through a plain integer (§3.6's integer
+        hoarding), unlink-and-free a middle node, and keep using the rest.
+
+        Only node payloads feed the checksum (``sizeof(struct N0)`` is
+        ABI-dependent and goes to ``malloc`` alone), so the baseline is
+        layout-independent while the integer-laundered reload diverges under
+        capability models and the frees move the heap metrics the corpus
+        JSON records per model.
+        """
+        rng = self.rng
+        node = self._ensure_node_struct()
+        count = rng.randint(3, 5)
+        head = self._name("nd")
+        self.body.append(decl(head, ptr(node), cast(ptr(node), lit(0))))
+        for _ in range(count):
+            tmp = self._name("nd")
+            self.body.append(decl(tmp, ptr(node),
+                                  cast(ptr(node), call("malloc",
+                                                       ast.SizeofType(target_type=node)))))
+            self.body.append(assign(member(ident(tmp), "val", arrow=True),
+                                    lit(rng.randint(1, 99))))
+            self.body.append(assign(member(ident(tmp), "next", arrow=True), ident(head)))
+            self.body.append(assign(ident(head), ident(tmp)))
+        cursor = self._name("nd")
+        i = self._name("i")
+        self.body.append(decl(cursor, ptr(node), ident(head)))
+        self.body.append(for_range(i, count, [
+            assign(ident("chk"),
+                   binop("+", binop("*", ident("chk"), lit(33)),
+                         member(ident(cursor), "val", arrow=True))),
+            assign(ident(cursor), member(ident(cursor), "next", arrow=True)),
+        ]))
+        stash = self._name("ip")
+        self.body.append(decl(stash, LONG, cast(LONG, ident(head))))
+        recovered = self._name("nd")
+        self.body.append(decl(recovered, ptr(node), cast(ptr(node), ident(stash))))
+        self._fold(member(ident(recovered), "val", arrow=True))
+        victim = self._name("nd")
+        self.body.append(decl(victim, ptr(node),
+                              member(ident(head), "next", arrow=True)))
+        self.body.append(assign(member(ident(head), "next", arrow=True),
+                                member(ident(victim), "next", arrow=True)))
+        self.body.append(call_stmt("free", ident(victim)))
+        self._fold(member(ident(head), "val", arrow=True))
+        self.features.append("gc_churn")
+        self._checkpoint()
+
+    def _scenario_qualified(self) -> None:
+        """``__capability``-qualified pointers (paper §4.1).
+
+        Reads through ``__capability``/``__input`` views agree everywhere;
+        a write through an ``__input`` view is silently tolerated by
+        PDP-11-style models but is a hardware ``permission`` trap under
+        models that enforce capability qualifiers — the annotated hybrid-ABI
+        story.  ``__output`` writes stay legal everywhere (read back through
+        the unqualified name).
+        """
+        rng = self.rng
+        arr, length = self._pick_array()
+        index_ = rng.randint(0, length - 1)
+        which = rng.choice(("cap_read", "input_read", "input_write", "output_write"))
+        q = self._name("qp")
+        if which == "cap_read":
+            ctype = PointerType(pointee=INT, qualifiers=Qualifiers.CAPABILITY)
+            self.body.append(decl(q, ctype, ident(arr)))
+            self._fold(index(ident(q), index_))
+        elif which == "input_read":
+            ctype = PointerType(pointee=INT,
+                                qualifiers=Qualifiers.INPUT | Qualifiers.CAPABILITY)
+            self.body.append(decl(q, ctype, ident(arr)))
+            self._fold(index(ident(q), index_))
+        elif which == "input_write":
+            ctype = PointerType(pointee=INT,
+                                qualifiers=Qualifiers.INPUT | Qualifiers.CAPABILITY)
+            self.body.append(decl(q, ctype, ident(arr)))
+            self.body.append(assign(index(ident(q), index_), lit(rng.randint(100, 999))))
+            self._fold(index(ident(arr), index_))
+        else:
+            ctype = PointerType(pointee=INT,
+                                qualifiers=Qualifiers.OUTPUT | Qualifiers.CAPABILITY)
+            self.body.append(decl(q, ctype, ident(arr)))
+            self.body.append(assign(index(ident(q), index_), lit(rng.randint(100, 999))))
+            self._fold(index(ident(arr), index_))
+        self.features.append("qualified")
+        self._checkpoint()
+
+    def _scenario_stack_escape(self) -> None:
+        """A helper returns a pointer to its own local; main dereferences it.
+
+        The stack object is retired when the helper's frame pops, so
+        temporal-safety models trap (``uaf``) while the PDP-11 view reads
+        the stale — but deterministic and layout-independent — value the
+        helper wrote there.
+        """
+        rng = self.rng
+        name = self._name("escape")
+        seed = rng.randint(2, 40)
+        slot = rng.randint(0, 3)
+        body: list[ast.Stmt] = [decl("local", ArrayType(element=INT, count=4))]
+        for j in range(4):
+            body.append(assign(index(ident("local"), j),
+                               binop("+", binop("*", ident("seed"), lit(j + 2)),
+                                     lit(rng.randint(1, 9)))))
+        body.append(ast.Return(value=unary("&", index(ident("local"), slot))))
+        self.helpers.append(ast.FunctionDef(
+            name=name, return_type=ptr(INT),
+            params=[ast.Parameter(name="seed", ctype=INT)],
+            body=ast.Block(statements=body),
+        ))
+        p = self._name("sp")
+        self.body.append(decl(p, ptr(INT), call(name, lit(seed))))
+        self._fold(unary("*", ident(p)))
+        self.features.append("stack_escape")
+        self._checkpoint()
 
     def _scenario_wide(self) -> None:
         rng = self.rng

@@ -23,7 +23,9 @@ split is what separates the three divergence kinds the paper cares about:
 
 Identical observables are ``agree``.  The long tail (baseline traps, budget
 exhaustion, compile failures) gets explicit categories rather than being
-folded into the interesting ones.
+folded into the interesting ones.  ``docs/difftest.md`` documents the full
+taxonomy and how to read the rendered matrix and corpus JSON;
+``docs/models.md`` documents the trap causes each model can produce.
 """
 
 from __future__ import annotations

@@ -20,7 +20,8 @@ The passes, run to fixpoint:
 Every candidate edit is validated by re-rendering and re-running under the
 baseline plus the target model only (two executions, not seven), so
 reduction stays cheap.  The whole process is deterministic: pass order is
-fixed and candidate order follows AST order.
+fixed and candidate order follows AST order.  ``docs/difftest.md`` shows
+the workflow for reproducing a corpus entry's reduction by hand.
 """
 
 from __future__ import annotations

@@ -1,16 +1,22 @@
 """Batched cross-model differential executor.
 
-One generated program is compiled **once per pointer layout** (the seven
-registered models share two: 8-byte integer pointers and 32-byte
-capabilities) through the ordinary ``parse -> irgen -> optimize`` pipeline,
-then replayed under every model on the block-compiled engine
-(:mod:`repro.interp.predecode`) with a per-run instruction budget.  Cycle
-accounting is off by default — the oracle classifies on architectural
-observables (traps, exit status, output, checkpoints, heap metrics), not on
-simulated time — which roughly halves sweep wall-clock.
+One generated program is **parsed once** (tokens and AST are pointer-layout
+independent), **lowered once per pointer layout** (the seven registered
+models share two: 8-byte integer pointers and 32-byte capabilities), then
+replayed under every model with a per-run instruction budget.  The machines
+run with ``shared_blocks=True``, so every model of a layout binds the same
+process-cached predecode artifact (:mod:`repro.interp.artifact`) instead of
+re-predecoding per machine — the sweep is compile-bound, not
+execution-bound.  Cycle accounting is off by default (the oracle classifies
+on architectural observables, not simulated time), trap tracebacks are
+dropped so results do not retain machine graphs, and :meth:`sweep` batches
+cyclic-garbage collection.  See ``docs/difftest.md`` and
+``docs/pipeline.md``.
 """
 
 from __future__ import annotations
+
+import gc
 
 from dataclasses import dataclass, field
 
@@ -18,9 +24,9 @@ from repro.analysis.detector import AnalysisResult, analyze_module
 from repro.common.errors import CompilationError
 from repro.interp.machine import AbstractMachine, ExecutionResult
 from repro.interp.models import PAPER_MODEL_ORDER, get_model
-from repro.minic.ir import Module
-from repro.minic.irgen import compile_source
+from repro.minic.irgen import compile_unit
 from repro.minic.optimizer import optimize_module
+from repro.minic.parser import parse
 
 #: default per-run instruction budget.  Generated programs terminate by
 #: construction well under this; the budget is the backstop that keeps a
@@ -74,41 +80,87 @@ class DifferentialRunner:
         """Compile ``source`` per layout and execute it under each model."""
         names = tuple(models or self.model_names)
         out = ProgramResult(source=source)
-        modules: dict[tuple[int, int], Module | None] = {}
+        # Lexing and parsing are layout-independent: parse once, lower the
+        # same AST per pointer layout (a parse failure fails every layout).
+        try:
+            unit, _ = parse(source)
+        except CompilationError as exc:
+            for layout, layout_models in self._layouts().items():
+                for name in layout_models:
+                    if name in names:
+                        out.compile_errors[name] = f"{type(exc).__name__}: {exc}"
+            return out
+        line_count = source.count("\n") + 1
         for layout, layout_models in self._layouts().items():
             selected = [m for m in layout_models if m in names]
             if not selected:
                 continue
             try:
-                module = compile_source(source, pointer_bytes=layout[0],
-                                        pointer_align=layout[1], source_name=source_name)
+                module = compile_unit(unit, pointer_bytes=layout[0],
+                                      pointer_align=layout[1], source_name=source_name,
+                                      source_line_count=line_count)
                 optimize_module(module)
             except CompilationError as exc:
-                modules[layout] = None
                 for name in selected:
                     out.compile_errors[name] = f"{type(exc).__name__}: {exc}"
                 continue
-            modules[layout] = module
             if self.analyze and layout[0] == 8 and out.analysis is None:
                 out.analysis = analyze_module(module)
             for name in selected:
+                # shared_blocks: every model of this layout binds the same
+                # cached predecode artifact (slot analysis, fusion, block
+                # code objects) instead of re-predecoding per machine — the
+                # sweep is compile-bound, not execution-bound.
                 machine = AbstractMachine(
                     module, get_model(name),
                     max_instructions=self.budget,
                     collect_timing=self.collect_timing,
+                    shared_blocks=True,
                 )
-                out.results[name] = machine.run()
+                result = machine.run()
+                if result.trap is not None:
+                    # The oracle classifies on the trap's type, message and
+                    # structured cause; the traceback would retain the whole
+                    # machine graph (frames reference handlers, handlers
+                    # reference the machine) for as long as the sweep keeps
+                    # its results.
+                    result.trap.__traceback__ = None
+                out.results[name] = result
         return out
 
     def run_program(self, program, *, models: tuple[str, ...] | None = None) -> ProgramResult:
         """Run a :class:`~repro.difftest.generator.GeneratedProgram`."""
         return self.run_source(program.source, models=models, source_name=program.name)
 
+    #: programs between young-generation cycle collections during a sweep.
+    GC_BATCH = 4
+
     def sweep(self, programs, *, progress=None) -> list[ProgramResult]:
-        """Run a whole corpus; ``progress`` (if given) is called per program."""
+        """Run a whole corpus; ``progress`` (if given) is called per program.
+
+        Machine graphs are cyclic (handlers close over their machine, the
+        machine owns the compiled code that owns the handlers), so a sweep
+        discards seven cyclic object graphs per program.  Under the default
+        collector that shows up as constant full collections — more than a
+        third of sweep wall-clock.  The loop therefore disables automatic
+        collection and reclaims the short-lived graphs with a cheap
+        young-generation pass every :data:`GC_BATCH` programs (one full
+        collection at the end), which bounds peak memory without scanning
+        the long-lived heap per program.
+        """
         results = []
-        for i, program in enumerate(programs):
-            results.append(self.run_program(program))
-            if progress is not None:
-                progress(i, program)
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            for i, program in enumerate(programs):
+                results.append(self.run_program(program))
+                if was_enabled and (i + 1) % self.GC_BATCH == 0:
+                    gc.collect(1)
+                if progress is not None:
+                    progress(i, program)
+        finally:
+            if was_enabled:
+                gc.enable()
+                gc.collect()
         return results

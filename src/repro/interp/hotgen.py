@@ -12,6 +12,14 @@ golden-metrics suite pins this across all seven memory models.
 
 Shapes are tuples of small ints/strings/bools; the cache is unbounded but in
 practice a workload produces a few dozen shapes.
+
+The module also owns the generated-source plumbing both block compilers sit
+on: :func:`block_source` wraps emitted body lines into ``make(B) -> handler``
+source, :func:`block_code` caches compilation by source text, and
+:func:`bind_block` instantiates a handler from a cached code object — which
+is all a shared-block machine pays per superinstruction
+(:mod:`repro.interp.artifact` stores the code objects on the predecode
+artifact; see ``docs/pipeline.md``).
 """
 
 from __future__ import annotations
@@ -413,30 +421,57 @@ def store_body(shape: tuple) -> list:
 _BLOCK_CODE: dict[str, object] = {}
 
 
-def compile_block(body_lines: list, bindings: dict, tag: str):
-    """Compile one basic-block superinstruction from generated source.
+def block_source(body_lines: list, names: list) -> str:
+    """Wrap pre-indented handler body lines into ``make(B) -> handler`` source.
 
-    ``body_lines`` are pre-indented to the handler body depth (8 spaces).
-    Bindings become keyword defaults (``LOAD_FAST`` at run time, like the
-    per-instruction handlers); machine-wide objects are bound once per block
-    under shared names, and site scalars are inlined as literals, so the
-    default list stays small even for long blocks.  The compiled code object
-    is cached by source text: rebuilding the same function for another
-    machine (or benchmark round) skips ``compile()``, which otherwise
-    dominates predecode time.
+    ``names`` are the binding names exposed as keyword defaults
+    (``LOAD_FAST`` at run time, like the per-instruction handlers);
+    machine-wide objects are bound once per block under shared names, and
+    site scalars are inlined as literals, so the default list stays small
+    even for long blocks.
     """
-    names = sorted(bindings)
     signature = ("    def handler(frame, "
                  + ", ".join(f"{name}=B[{name!r}]" for name in names) + "):")
-    source = ("def make(B):\n" + signature + "\n"
-              + "\n".join(body_lines) + "\n    return handler\n")
+    return ("def make(B):\n" + signature + "\n"
+            + "\n".join(body_lines) + "\n    return handler\n")
+
+
+def block_code(source: str, tag: str):
+    """The compiled code object for block ``source``, cached by source text.
+
+    Rebuilding the same function for another machine (or benchmark round)
+    skips ``compile()``, which otherwise dominates predecode time; the
+    shared block plans in :mod:`repro.interp.artifact` store these code
+    objects directly, so a cross-machine rebind never recompiles at all.
+    """
     code = _BLOCK_CODE.get(source)
     if code is None:
         code = compile(source, f"<block {tag}>", "exec")
         _BLOCK_CODE[source] = code
+    return code
+
+
+def bind_block(code, bindings: dict):
+    """Instantiate a block handler from a compiled ``make(B)`` code object.
+
+    This is the whole per-machine cost of a shared superinstruction: one
+    ``exec`` of an already-compiled code object plus a closure construction
+    over the per-machine ``bindings``.
+    """
     namespace = dict(_GLOBALS)
     exec(code, namespace)
     return namespace["make"](bindings)
+
+
+def compile_block(body_lines: list, bindings: dict, tag: str):
+    """Compile one basic-block superinstruction from generated source.
+
+    ``body_lines`` are pre-indented to the handler body depth (8 spaces);
+    every key in ``bindings`` becomes a keyword default (see
+    :func:`block_source`).
+    """
+    source = block_source(body_lines, sorted(bindings))
+    return bind_block(block_code(source, tag), bindings)
 
 
 def _compile(shape: tuple, body_lines: list) -> object:

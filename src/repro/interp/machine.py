@@ -43,7 +43,7 @@ from repro.interp.intrinsics import ExitProgram
 from repro.interp.models import get_model
 from repro.interp.models.base import MemoryModel
 from repro.interp.models.pdp11 import Pdp11Model
-from repro.interp.predecode import CompiledFunction, compile_function
+from repro.interp.predecode import HOT_CALL_THRESHOLD, CompiledFunction, compile_function
 from repro.interp.shadow import ShadowTable
 from repro.interp.values import IntVal, Provenance, PtrVal
 from repro.minic.ir import Function, Module
@@ -94,9 +94,9 @@ class AbstractMachine:
     __slots__ = ("module", "model", "config", "ctx", "memory", "allocator",
                  "hierarchy", "shadow", "globals", "output", "checkpoints",
                  "rng", "instructions", "cycles", "memory_accesses",
-                 "max_instructions", "collect_timing", "_call_depth",
-                 "_code_cache", "_ptr_load_memo", "_clear_shadow",
-                 "block_profile")
+                 "max_instructions", "collect_timing", "shared_blocks",
+                 "_call_depth", "_code_cache", "_ptr_load_memo",
+                 "_clear_shadow", "block_profile")
 
     def __init__(
         self,
@@ -106,6 +106,7 @@ class AbstractMachine:
         config: MachineConfig | None = None,
         max_instructions: int = 50_000_000,
         collect_timing: bool = True,
+        shared_blocks: bool = False,
     ) -> None:
         self.module = module
         self.model = get_model(model) if isinstance(model, str) else model
@@ -132,6 +133,13 @@ class AbstractMachine:
         self.memory_accesses = 0
         self.max_instructions = max_instructions
         self.collect_timing = collect_timing
+        #: superinstruction flavour: False compiles model-specialized block
+        #: source per machine (fastest execution — the workload default);
+        #: True binds the model-independent block plans cached process-wide
+        #: on the predecode artifact (fastest compilation — what the
+        #: differential runner uses for its 7-model replay).  Observables are
+        #: identical either way (tests/test_predecode_cache.py).
+        self.shared_blocks = shared_blocks
         self._call_depth = 0
         #: predecoded per-function code, keyed by the function's identity.
         self._code_cache: dict[int, CompiledFunction] = {}
@@ -485,6 +493,16 @@ class AbstractMachine:
         """
         if code is None:
             code = self._code_for(function)
+        # Tiered block binding (shared-block machines only): install the
+        # artifact's cached superinstruction plans once the function has
+        # proven hot.  Install timing is observationally invisible — blocks
+        # charge exactly what single-step dispatch charges.
+        if code.pending_blocks is not None:
+            code.calls += 1
+            if code.calls >= HOT_CALL_THRESHOLD:
+                install = code.pending_blocks
+                code.pending_blocks = None
+                install()
         # Frames come from a per-CompiledFunction pool: released frames were
         # reset to the prototype (alloca list kept attached, entries cleared),
         # so a call does not round-trip the allocator for the register file.

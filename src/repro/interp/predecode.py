@@ -1,10 +1,15 @@
-"""Predecoded threaded-dispatch engine with unboxed scalar registers.
+"""Per-machine binding of predecode artifacts into a threaded-dispatch engine.
 
 The original interpreter walked every :class:`~repro.minic.ir.Instr` through a
 chain of ``if op is Opcode.X`` tests, re-resolving ``attrs`` dict entries,
-label maps and operand kinds on every execution.  This module compiles each IR
-function **once per machine** into a flat list of per-instruction closures
-("handlers"):
+label maps and operand kinds on every execution.  Compilation is now split in
+two: the **model-independent half** (decode facts, the slot-type fixpoint,
+fusion decisions, shared superinstruction plans) lives in
+:mod:`repro.interp.artifact` behind a process-level cache keyed by
+``(function, pointer layout)``, and this module is the **binding step** that
+closes a cached artifact over one concrete machine's model, memory, cache and
+timing state (``docs/pipeline.md`` has the full picture).  Binding a function
+produces a flat list of per-instruction closures ("handlers"):
 
 * label targets are resolved to instruction indices at compile time, so a
   branch is just ``return target_index``;
@@ -72,7 +77,15 @@ Counter exactness is preserved by construction:
   point.
 
 ``SUPERINSTRUCTIONS`` toggles the block compiler (the equivalence test flips
-it to compare engines on the same machine build).
+it to compare engines on the same machine build).  Machines come in two
+superinstruction flavours: the default compiles model-specialized block
+source per machine (fastest execution — every splice above applies), while
+``AbstractMachine(shared_blocks=True)`` binds the artifact's cached
+model-independent block plans — raw-register work spliced, memory ops and
+pointer moves as closure-call slots — with **tiered binding**: a function
+binds its blocks only after ``HOT_CALL_THRESHOLD`` calls, so one-shot code
+(the differential sweep) never pays block compilation.  Both flavours are
+observationally identical; ``tests/test_predecode_cache.py`` pins it.
 
 The engine is **observationally identical** to the old dispatch chain: the
 same instruction/cycle/memory-access counts, the same outputs and the same
@@ -87,11 +100,20 @@ not round-trip Python's allocator for the register file or the alloca list.
 from __future__ import annotations
 
 from repro.common.errors import InterpreterError, UndefinedBehaviorError
+from repro.interp.artifact import (
+    BINOP_EXPR as _BINOP_EXPR,
+    BLOCK_LIMIT as _BLOCK_LIMIT,
+    CMP_FUNCS as _CMP_FUNCS,
+    FRAME_RESERVED as _FRAME_RESERVED,
+    INT_BINOPS as _INT_BINOPS,
+    get_artifact,
+)
 from repro.interp.intrinsics import INTRINSICS
 from repro.interp.models.base import MemoryModel
 from repro.interp.models.mpx import MpxModel
 from repro.interp.models.pdp11 import Pdp11Model
 from repro.interp.hotgen import (
+    bind_block,
     compile_block,
     load_maker,
     packer_for,
@@ -124,14 +146,13 @@ UNDEF = object()
 #: the same machine; production machines always compile with it on.
 SUPERINSTRUCTIONS = True
 
-#: maximum paired entries folded into one block handler; bounds the size of
-#: each generated source body (and its one-off exec cost at compile time).
-_BLOCK_LIMIT = 40
+#: calls before a shared-block machine binds a function's superinstructions
+#: (block install is observationally invisible, so the threshold only trades
+#: binding cost against dispatch speed; specialized machines bind eagerly).
+HOT_CALL_THRESHOLD = 2
 
 #: indices of the bookkeeping slots at the head of every frame.
 _ARGS, _ALLOCAS, _RET = 0, 1, 2
-#: register slot of temp ``%i`` is ``i + _FRAME_RESERVED``.
-_FRAME_RESERVED = 3
 
 _ADDRESS_MASK = (1 << 64) - 1
 
@@ -139,40 +160,6 @@ _ADDRESS_MASK = (1 << 64) - 1
 #: shared with the block compiler; see values.TRUE_I32/FALSE_I32).
 _TRUE = TRUE_I32
 _FALSE = FALSE_I32
-
-#: textual expression templates for the inline block compiler, mirroring
-#: _INT_BINOPS / _CMP_FUNCS exactly (shifts mask their count like C on a
-#: 64-bit machine would).
-_BINOP_EXPR = {
-    "+": "({a} + {b})",
-    "-": "({a} - {b})",
-    "*": "({a} * {b})",
-    "&": "({a} & {b})",
-    "|": "({a} | {b})",
-    "^": "({a} ^ {b})",
-    "<<": "({a} << ({b} & 63))",
-    ">>": "({a} >> ({b} & 63))",
-}
-
-_INT_BINOPS = {
-    "+": lambda a, b: a + b,
-    "-": lambda a, b: a - b,
-    "*": lambda a, b: a * b,
-    "&": lambda a, b: a & b,
-    "|": lambda a, b: a | b,
-    "^": lambda a, b: a ^ b,
-    "<<": lambda a, b: a << (b & 63),
-    ">>": lambda a, b: a >> (b & 63),
-}
-
-_CMP_FUNCS = {
-    "==": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
-}
 
 #: models whose load_pointer_without_metadata is a pure function of the raw
 #: address (no allocator lookup), so the resulting PtrVal can be memoised.
@@ -187,7 +174,8 @@ class CompiledFunction:
     """The predecoded form of one IR function, bound to one machine."""
 
     __slots__ = ("function", "paired", "size", "nregs", "nallocas",
-                 "frame_proto", "pool", "alloca_proto", "blocks")
+                 "frame_proto", "pool", "alloca_proto", "blocks",
+                 "pending_blocks", "calls")
 
     def __init__(self, function: Function, handlers: list, costs: list,
                  nregs: int, nallocas: int) -> None:
@@ -205,110 +193,11 @@ class CompiledFunction:
         self.alloca_proto = (None,) * nallocas
         #: installed superinstructions: (start_pc, paired_entries, ir_instrs).
         self.blocks: list[tuple[int, int, int]] = []
-
-
-# ---------------------------------------------------------------------------
-# Register-slot type analysis
-# ---------------------------------------------------------------------------
-
-
-def _scalar_int_type(ctype, ctx) -> tuple[int, bool] | None:
-    """(width, signed) when ``ctype`` is a plain scalar integer type."""
-    if isinstance(ctype, IntType) and not ctype.is_pointer_sized:
-        width = ctype.size(ctx)
-        if 1 <= width <= 8:
-            return (width, getattr(ctype, "signed", True))
-    return None
-
-
-def _analyze_slots(machine, function: Function) -> dict[int, tuple[int, bool]]:
-    """Map temp index -> (width, signed) for slots that can go unboxed.
-
-    A slot qualifies when **every** instruction writing it produces a
-    provenance-free scalar integer of the same static type.  The analysis is
-    optimistic (loops like ``i = i + 1`` stay unboxed) and demotes to "boxed"
-    on any conflict; it converges because demotion is monotone.
-    """
-    ctx = machine.ctx
-    # A model that overrides the provenance hook must see every operand, so
-    # arithmetic results cannot be proven provenance-free at compile time.
-    fast_noprov = (type(machine.model).propagate_provenance
-                   is MemoryModel.propagate_provenance)
-
-    def const_type(operand: Const) -> tuple[int, bool] | None:
-        ctype = operand.ctype
-        if isinstance(ctype, PointerType):
-            return None
-        if isinstance(ctype, IntType):
-            if ctype.is_pointer_sized:
-                return None
-            return (min(ctype.size(ctx), 8), getattr(ctype, "signed", True))
-        return (8, True)
-
-    def raw_safe(operand, prev) -> bool:
-        kind = type(operand)
-        if kind is Temp:
-            # Missing from ``prev`` means "not yet demoted" (optimistic) or
-            # "never written" (reading it raises either way).
-            return prev.get(operand.index, True) is not None
-        if kind is Const:
-            return const_type(operand) is not None
-        return False
-
-    def writer_type(instr, prev) -> tuple[int, bool] | None:
-        op = instr.op
-        if op is Opcode.LOAD:
-            return _scalar_int_type(instr.ctype, ctx)
-        if op is Opcode.CMP:
-            return (4, True)
-        if op is Opcode.PTRDIFF:
-            return (8, True)
-        if op is Opcode.BINOP:
-            target = _scalar_int_type(instr.ctype, ctx)
-            if (target is None or not fast_noprov
-                    or not all(raw_safe(a, prev) for a in instr.args)):
-                return None
-            return target
-        if op is Opcode.UNOP:
-            source = instr.args[0]
-            if type(source) is Temp:
-                t = prev.get(source.index)
-                return t if isinstance(t, tuple) else None
-            if type(source) is Const:
-                return const_type(source)
-            return None
-        if op is Opcode.INTCAST:
-            target = instr.ctype
-            if not isinstance(target, IntType) or target.is_pointer_sized:
-                return None
-            if not raw_safe(instr.args[0], prev):
-                return None
-            return (min(target.size(ctx), 8), getattr(target, "signed", True))
-        if op is Opcode.BITCAST:
-            source = instr.args[0]
-            if type(source) is Temp:
-                t = prev.get(source.index)
-                return t if isinstance(t, tuple) else None
-            if type(source) is Const:
-                return const_type(source)
-            return None
-        return None
-
-    instrs = [instr for instr in function.instrs if instr.dest is not None]
-    prev: dict[int, tuple[int, bool] | None] = {}
-    for _ in range(len(instrs) + 1):
-        cur: dict[int, tuple[int, bool] | None] = {}
-        for instr in instrs:
-            t = writer_type(instr, prev)
-            index = instr.dest.index
-            if index in cur and cur[index] != t:
-                cur[index] = None
-            else:
-                cur[index] = t
-        if cur == prev:
-            break
-        prev = cur
-    return {index: t for index, t in prev.items() if t is not None}
+        #: shared-block machines defer block binding until the function has
+        #: run HOT_CALL_THRESHOLD times: a zero-arg installer closure, or
+        #: None once installed (or when blocks are bound eagerly/disabled).
+        self.pending_blocks = None
+        self.calls = 0
 
 
 # ---------------------------------------------------------------------------
@@ -327,29 +216,6 @@ def _const_value(machine, operand: Const):
     signed = getattr(ctype, "signed", True)
     pointer_sized = isinstance(ctype, IntType) and ctype.is_pointer_sized
     return IntVal(operand.value, bytes=min(size, 8), signed=signed, pointer_sized=pointer_sized)
-
-
-def _raw_operand(machine, operand, slot_types):
-    """Compile-time description of an operand usable as a raw int.
-
-    Returns ``("slot", frame_index, (W, S), label)`` for an unboxed register,
-    ``("const", raw_value, (W, S), None)`` for an integer constant, or None
-    when the operand must be read boxed.
-    """
-    kind = type(operand)
-    if kind is Temp:
-        t = slot_types.get(operand.index)
-        if t is None:
-            return None
-        return ("slot", operand.index + _FRAME_RESERVED, t, str(operand))
-    if kind is Const:
-        if isinstance(operand.ctype, PointerType):
-            return None
-        hoisted = _const_value(machine, operand)
-        if hoisted is None or hoisted.pointer_sized:
-            return None
-        return ("const", hoisted.value, (hoisted.bytes, hoisted.signed), None)
-    return None
 
 
 def _reader(machine, operand, slot_types):
@@ -464,31 +330,31 @@ _NO_DELTA = (0, 0, 0, None)
 
 
 def compile_function(machine, function: Function) -> CompiledFunction:
-    """Predecode ``function`` against ``machine``'s model, memory and timing."""
+    """Bind ``function``'s predecode artifact to one concrete machine.
+
+    The model-independent half (decode facts, slot-type fixpoint, fusion,
+    shared block plans) comes from the process-level artifact cache
+    (:mod:`repro.interp.artifact`); this function closes it over the
+    machine's model, memory, cache and timing state.
+    """
     instrs = function.instrs
-    labels = function.label_index()
+    artifact = get_artifact(function, machine.ctx)
+    labels = artifact.labels
     timing = machine.config.timing
     base_cost = timing.base_instruction_cost
     branch_cost = timing.branch_cost
     call_cost = timing.call_cost
     stop = len(instrs)
 
+    # A model that overrides the provenance hook must see every operand, so
+    # arithmetic results cannot be proven provenance-free at compile time.
+    fast_noprov = (type(machine.model).propagate_provenance
+                   is MemoryModel.propagate_provenance)
     #: temp index -> (width, signed) for slots that carry raw Python ints.
-    slot_types = _analyze_slots(machine, function)
+    slot_types = artifact.slot_types(fast_noprov)
 
-    # Pass 1: register file size and alloca slot count.
-    max_temp = -1
-    nallocas = 0
-    for instr in instrs:
-        if instr.dest is not None and instr.dest.index > max_temp:
-            max_temp = instr.dest.index
-        for arg in instr.args:
-            if type(arg) is Temp and arg.index > max_temp:
-                max_temp = arg.index
-        if instr.op is Opcode.ALLOCA:
-            nallocas += 1
-    nregs = max_temp + 2  # one extra scratch slot for dest-less value ops
-    scratch = max_temp + 1 + _FRAME_RESERVED
+    nregs = artifact.nregs
+    scratch = artifact.scratch
 
     # Machine state bound once per compilation.
     model = machine.model
@@ -605,8 +471,17 @@ def compile_function(machine, function: Function) -> CompiledFunction:
     def reader(operand):
         return _reader(machine, operand, slot_types)
 
+    # Raw-operand descriptors come precomputed from the artifact (the same
+    # list every other machine of this layout binds against); the id-keyed
+    # map lets the operand-shaped call sites below stay unchanged.
+    arg_raw_lists = artifact.arg_raws(fast_noprov)
+    raw_by_operand: dict[int, tuple | None] = {}
+    for instr_raws, instr_ in zip(arg_raw_lists, instrs):
+        for arg_, desc_ in zip(instr_.args, instr_raws):
+            raw_by_operand[id(arg_)] = desc_
+
     def raw_operand(operand):
-        return _raw_operand(machine, operand, slot_types)
+        return raw_by_operand[id(operand)]
 
     def boxed_operand(operand):
         """(mode, src, label): 0 = boxed Temp slot, 1 = hoisted value, 2 = reader."""
@@ -619,88 +494,51 @@ def compile_function(machine, function: Function) -> CompiledFunction:
         return 2, reader(operand), None
 
     # ------------------------------------------------------------------
-    # Pair-fusion prepass
+    # Pair-fusion prepass (memoized on the artifact)
     # ------------------------------------------------------------------
 
-    use_counts: dict[int, int] = {}
-    for instr in instrs:
-        for arg in instr.args:
-            if type(arg) is Temp:
-                use_counts[arg.index] = use_counts.get(arg.index, 0) + 1
-
-    def move_delta(instr):
-        """Delta descriptor when ``instr`` is an inlineable pointer move."""
-        op = instr.op
-        if op is Opcode.FIELD:
-            if not inline_field:
-                return None
-            return (1, instr.attrs["offset"], 0, None)
-        if op is Opcode.GEP or op is Opcode.PTRADD:
-            if not inline_moves:
-                return None
-            element_size = instr.attrs["element_size"] if op is Opcode.GEP else 1
-            raw = raw_operand(instr.args[1])
-            if raw is None:
-                return None
-            if raw[0] == "const":
-                return (1, raw[1] * element_size, 0, None)
-            return (2, raw[1], element_size, raw[3])
-        return None
-
-    #: producer index -> ("mem", delta) or ("cmp",); the consumer at index+1
-    #: keeps its (unreachable) stand-alone handler so pc layout is unchanged.
-    fused: dict[int, tuple] = {}
-    i = 0
-    while i < len(instrs) - 1:
-        instr = instrs[i]
-        nxt = instrs[i + 1]
-        dest = instr.dest
-        if (dest is not None and use_counts.get(dest.index, 0) == 1
-                and nxt.args and type(nxt.args[0]) is Temp
-                and nxt.args[0].index == dest.index):
-            if nxt.op is Opcode.LOAD or nxt.op is Opcode.STORE:
-                delta = move_delta(instr)
-                if delta is not None:
-                    fused[i] = ("mem", delta)
-                    i += 2
-                    continue
-            elif (nxt.op is Opcode.CJUMP and instr.op is Opcode.CMP
-                  and instr.attrs["operator"] in _CMP_FUNCS):
-                fused[i] = ("cmp",)
-                i += 2
-                continue
-        i += 1
+    # Producer index -> ("mem", delta) or ("cmp",); the consumer at index+1
+    # keeps its (unreachable) stand-alone handler so pc layout is unchanged.
+    # Fusion MUST be identical in both block flavours: the fused pair
+    # charges both halves' costs up front, so restricting fusion would move
+    # the cycle counter observed at a budget trap on the consumer half.
+    shared_blocks = machine.shared_blocks
+    fused = artifact.fusion(inline_moves, inline_field, fast_noprov)
 
     # ------------------------------------------------------------------
     # Memory-op generators (source-specialized; see repro.interp.hotgen)
     # ------------------------------------------------------------------
 
+    # Built once per compilation and copied per memory instruction — the
+    # machine-level values never change within one binding pass.
+    proto_bindings = {
+        "pslot": None, "pcoerce": None, "d1": 0, "d2": 0, "dmsg": "",
+        "base_cost": base_cost, "check_access": check_access,
+        "size": 0, "size_m1": 0, "line_shift": line_shift,
+        "nsets_mask": nsets_mask, "nsets_shift": nsets_shift, "assoc": assoc,
+        "lat_l1": lat_l1, "lat_l2": lat_l2, "lat_dram": lat_dram,
+        "l1_sets": l1_sets, "l1_stats": l1_stats, "l2_access": l2_access,
+        "hier": hier, "hierarchy_access": hierarchy_access, "machine": machine,
+        "page_mask": page_mask, "page_size": page_size, "page_shift": page_shift,
+        "mem_size": mem_size, "pages_get": pages_get, "mem_pages": mem_pages,
+        "read_small": read_small, "write_small": write_small,
+        "write_ptr_raw": write_ptr_raw, "mem_tags": mem_tags,
+        "shadow_get": shadow_get, "shadow_entries": shadow_entries,
+        "shadow_pages": shadow_pages, "shadow_page_shift": PAGE_SHIFT,
+        "ptr_memo": ptr_memo, "ptr_memo_get": ptr_memo_get,
+        "load_ptr_no_meta": load_ptr_no_meta, "allocator": allocator,
+        "int_to_ptr": int_to_ptr, "reconcile": reconcile,
+        "appliers": (), "table": None, "out": 0, "next_pc": 0,
+        "signed": True, "read_value": None, "ptr_to_int": ptr_to_int,
+        "coerce_bytes": None, "coerce_signed": True, "size_mask": 0,
+        "comb_mask": 0, "const_raw": 0, "vslot": 0, "vmsg": "", "pad": b"",
+        "span": 8, "mem_unpack": None, "mem_pack": None,
+        "fname": function.name,
+    }
+
     def bindings() -> dict:
         """Fresh binding dict for a hotgen-generated handler (full name set)."""
-        return {
-            "pslot": None, "pcoerce": None, "d1": 0, "d2": 0, "dmsg": "",
-            "base_cost": base_cost, "check_access": check_access,
-            "size": 0, "size_m1": 0, "line_shift": line_shift,
-            "nsets_mask": nsets_mask, "nsets_shift": nsets_shift, "assoc": assoc,
-            "lat_l1": lat_l1, "lat_l2": lat_l2, "lat_dram": lat_dram,
-            "l1_sets": l1_sets, "l1_stats": l1_stats, "l2_access": l2_access,
-            "hier": hier, "hierarchy_access": hierarchy_access, "machine": machine,
-            "page_mask": page_mask, "page_size": page_size, "page_shift": page_shift,
-            "mem_size": mem_size, "pages_get": pages_get, "mem_pages": mem_pages,
-            "read_small": read_small, "write_small": write_small,
-            "write_ptr_raw": write_ptr_raw, "mem_tags": mem_tags,
-            "shadow_get": shadow_get, "shadow_entries": shadow_entries,
-            "shadow_pages": shadow_pages, "shadow_page_shift": PAGE_SHIFT,
-            "ptr_memo": ptr_memo, "ptr_memo_get": ptr_memo_get,
-            "load_ptr_no_meta": load_ptr_no_meta, "allocator": allocator,
-            "int_to_ptr": int_to_ptr, "reconcile": reconcile,
-            "appliers": (), "table": None, "out": 0, "next_pc": 0,
-            "signed": True, "read_value": None, "ptr_to_int": ptr_to_int,
-            "coerce_bytes": None, "coerce_signed": True, "size_mask": 0,
-            "comb_mask": 0, "const_raw": 0, "vslot": 0, "vmsg": "", "pad": b"",
-            "span": 8, "mem_unpack": None, "mem_pack": None,
-            "fname": function.name,
-        }
+        return dict(proto_bindings)
 
     def gen_load(instr, ptr_operand, delta, extra, next_pc, out):
         """(handler, mem-desc) for a LOAD; ``delta``/``extra`` = fused producer."""
@@ -1301,7 +1139,7 @@ def compile_function(machine, function: Function) -> CompiledFunction:
         elif op is Opcode.BINOP:
             handler, desc = _make_binop(machine, instr, dest if dest is not None else scratch,
                                         dest_type, slot_types, next_pc, propagate_provenance,
-                                        ptr_to_int)
+                                        ptr_to_int, arg_raw_lists[index])
 
         elif op is Opcode.UNOP:
             negate = instr.attrs["operator"] == "neg"
@@ -1349,7 +1187,8 @@ def compile_function(machine, function: Function) -> CompiledFunction:
 
         elif op is Opcode.CMP:
             handler, desc = _make_cmp(machine, instr, dest if dest is not None else scratch,
-                                      dest_type, slot_types, next_pc, inline_ptrcmp)
+                                      dest_type, slot_types, next_pc, inline_ptrcmp,
+                                      arg_raw_lists[index])
 
         elif op is Opcode.CALL:
             cost = call_cost
@@ -1366,8 +1205,24 @@ def compile_function(machine, function: Function) -> CompiledFunction:
 
     code = CompiledFunction(function, handlers, costs, nregs, alloca_index)
     if SUPERINSTRUCTIONS and len(handlers) > 1:
-        _install_superinstructions(machine, function, code, handlers, costs,
-                                   descs, fused, labels)
+        if shared_blocks:
+            # Tiered binding: a sweep-style machine executes most functions
+            # once or twice, where block binding never amortizes.  The
+            # dispatch loop installs the artifact's cached plans when the
+            # function proves hot (see AbstractMachine._execute).
+            def install(machine=machine, function=function, code=code,
+                        handlers=handlers, costs=costs, artifact=artifact,
+                        timing=(base_cost, branch_cost, call_cost),
+                        fast_noprov=fast_noprov, inline_moves=inline_moves,
+                        inline_field=inline_field):
+                _install_shared_blocks(machine, function, code, handlers,
+                                       costs, artifact, timing, fast_noprov,
+                                       inline_moves, inline_field)
+
+            code.pending_blocks = install
+        else:
+            _install_superinstructions(machine, function, code, handlers, costs,
+                                       descs, fused, labels)
     return code
 
 
@@ -1399,6 +1254,38 @@ def _budget_replay(machine, cost_seq: tuple, fname: str):
         machine.cycles += cost
     raise InterpreterError(  # pragma: no cover - caller guarantees overrun
         f"instruction budget of {machine.max_instructions} exhausted in {fname}")
+
+
+def _install_shared_blocks(machine, function: Function, code: CompiledFunction,
+                           handlers: list, costs: list, artifact,
+                           timing: tuple[int, int, int], fast_noprov: bool,
+                           inline_moves: bool, inline_field: bool) -> None:
+    """Instantiate the artifact's shared superinstruction plans for one machine.
+
+    The plans (segmentation, generated source, compiled code objects) are
+    model-independent and cached on the artifact; this binding step only
+    builds the per-machine namespace — the ``h<k>`` handler closures, the
+    machine itself, the budget-replay helper and (when enabled) the profile
+    counter — and ``exec``-utes the cached code object.  No source is
+    generated and nothing is ``compile()``-d per machine.
+    """
+    profiled = machine.block_profile is not None
+    for plan in artifact.block_plans(timing, fast_noprov, profiled,
+                                     inline_moves, inline_field):
+        b = dict(plan.consts)
+        b["machine"] = machine
+        b["fname"] = function.name
+        b["budget_replay"] = _budget_replay
+        for k in plan.handler_indices:
+            b[f"h{k}"] = handlers[k]
+        if profiled:
+            counter = [0]
+            machine.block_profile[(function.name, plan.start)] = {
+                "count": counter, "entries": plan.entries, "ir": plan.n_ir}
+            b["BC"] = counter
+        handler = bind_block(plan.code, b)
+        code.paired[plan.start] = (handler, costs[plan.start])
+        code.blocks.append((plan.start, plan.entries, plan.n_ir))
 
 
 def _install_superinstructions(machine, function: Function, code: CompiledFunction,
@@ -1856,7 +1743,7 @@ def _emit_block(machine, function: Function, handlers: list, costs: list,
 
 
 def _make_binop(machine, instr, out: int, dest_type, slot_types, next_pc: int,
-                propagate_provenance, ptr_to_int):
+                propagate_provenance, ptr_to_int, arg_raws):
     """Compile a BINOP; returns ``(handler, block_descriptor)``."""
     operator = instr.attrs["operator"]
     target = instr.ctype
@@ -1882,8 +1769,7 @@ def _make_binop(machine, instr, out: int, dest_type, slot_types, next_pc: int,
             raise InterpreterError(f"unknown binary operator {operator!r}")
         return handler, None
 
-    raw_left = _raw_operand(machine, instr.args[0], slot_types)
-    raw_right = _raw_operand(machine, instr.args[1], slot_types)
+    raw_left, raw_right = arg_raws
     if raw_left is not None and raw_right is not None and fast_noprov:
         # Fully unboxed arithmetic: raw ints in, raw int out (when the
         # destination slot is unboxed too), wrapping inlined from the mask
@@ -2010,7 +1896,7 @@ def _make_binop(machine, instr, out: int, dest_type, slot_types, next_pc: int,
 
 
 def _make_cmp(machine, instr, out: int, dest_type, slot_types, next_pc: int,
-              inline_ptrcmp: bool):
+              inline_ptrcmp: bool, arg_raws):
     """Compile a CMP; returns ``(handler, block_descriptor)``."""
     operator = instr.attrs["operator"]
     compare = _CMP_FUNCS.get(operator)
@@ -2025,8 +1911,7 @@ def _make_cmp(machine, instr, out: int, dest_type, slot_types, next_pc: int,
             raise KeyError(operator)
         return handler, None
 
-    raw_left = _raw_operand(machine, instr.args[0], slot_types)
-    raw_right = _raw_operand(machine, instr.args[1], slot_types)
+    raw_left, raw_right = arg_raws
     raw_dest = dest_type is not None
     if raw_left is not None and raw_right is not None:
         lkind, lpayload, _lt, llabel = raw_left

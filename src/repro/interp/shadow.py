@@ -16,9 +16,13 @@ addresses) so range queries cost O(pages touched + entries in range) instead.
 
 Hot paths (the predecoded store handlers) intentionally reach into
 ``entries``/``pages`` directly and maintain both inline — see
-``repro/interp/predecode.py``; the methods here serve the colder callers
-(garbage collector, ``copy_memory``, tests) and keep dict-style compatibility
-for existing introspection code.
+``repro/interp/predecode.py`` and the generated bodies in
+``repro/interp/hotgen.py``; the methods here serve the colder callers
+(garbage collector, ``copy_memory``, tests) and keep dict-style
+compatibility for existing introspection code.  Whether a model keeps
+shadow entries at all — and whether data stores clear them — is the
+``uses_shadow`` / ``clear_shadow_on_data_store`` policy documented per
+model in ``docs/models.md``.
 """
 
 from __future__ import annotations

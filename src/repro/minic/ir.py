@@ -134,6 +134,11 @@ class Function:
     #: cached label map plus the (list identity, length) it was computed for.
     _label_cache: dict[str, int] | None = field(default=None, init=False, repr=False, compare=False)
     _label_cache_key: tuple[int, int] | None = field(default=None, init=False, repr=False, compare=False)
+    #: bumped by :meth:`invalidate_label_index` — i.e. whenever a pass
+    #: mutates ``instrs`` in place — so downstream caches keyed on this
+    #: function (the predecode-artifact cache) can detect mutation even when
+    #: the list object and its length are unchanged.
+    mutations: int = field(default=0, init=False, repr=False, compare=False)
 
     def label_index(self) -> dict[str, int]:
         """Map label names to instruction indices (cached).
@@ -155,9 +160,14 @@ class Function:
         return self._label_cache
 
     def invalidate_label_index(self) -> None:
-        """Drop the cached label map after mutating ``instrs`` in place."""
+        """Drop the cached label map after mutating ``instrs`` in place.
+
+        Also records the mutation for every other cache derived from the
+        instruction stream (see :data:`mutations`).
+        """
         self._label_cache = None
         self._label_cache_key = None
+        self.mutations += 1
 
     def __str__(self) -> str:
         header = f"function {self.name}({', '.join(name for name, _ in self.params)})"

@@ -88,10 +88,32 @@ def compile_source(
     """Parse and lower a mini-C source string to an IR module."""
     ctx = TypeContext(pointer_bytes=pointer_bytes, pointer_align=pointer_align)
     unit, ctx = parse(source, context=ctx)
-    generator = IrGenerator(ctx)
-    module = generator.compile(unit)
+    return compile_unit(unit, context=ctx, source_name=source_name,
+                        source_line_count=source.count("\n") + 1)
+
+
+def compile_unit(
+    unit: ast.TranslationUnit,
+    *,
+    context: TypeContext | None = None,
+    pointer_bytes: int = 8,
+    pointer_align: int | None = None,
+    source_name: str = "<memory>",
+    source_line_count: int = 0,
+) -> Module:
+    """Lower an already-parsed translation unit to an IR module.
+
+    Lexing and parsing are pointer-layout-independent (the parser consults
+    its context only for typedef names and struct identity; struct layouts
+    are computed lazily per ``TypeContext``), so callers that lower one
+    program for several ABIs — the differential runner compiles every
+    program once per pointer layout — can parse once and call this per
+    layout instead of paying the front end per layout.
+    """
+    ctx = context or TypeContext(pointer_bytes=pointer_bytes, pointer_align=pointer_align)
+    module = IrGenerator(ctx).compile(unit)
     module.source_name = source_name
-    module.source_line_count = source.count("\n") + 1
+    module.source_line_count = source_line_count
     return module
 
 

@@ -182,7 +182,11 @@ class StructType(CType):
     is_union: bool = False
     complete: bool = False
     qualifiers: Qualifiers = Qualifiers.NONE
-    _layout_cache: dict[int, tuple[int, int]] = field(default_factory=dict, repr=False)
+    _layout_cache: dict[tuple[int, int], tuple[int, int, tuple[int, ...]]] = field(
+        default_factory=dict, repr=False)
+    #: layout key whose field offsets are currently installed on the
+    #: (shared, mutable) StructField objects; see layout().
+    _offsets_owner: tuple[int, int] | None = field(default=None, repr=False)
 
     def define(self, fields: list[StructField]) -> None:
         if self.complete:
@@ -190,14 +194,31 @@ class StructType(CType):
         self.fields = fields
         self.complete = True
         self._layout_cache.clear()
+        self._offsets_owner = None
 
     def layout(self, ctx: "TypeContext") -> tuple[int, int]:
-        """Compute (size, alignment), assigning field offsets as a side effect."""
+        """Compute (size, alignment), assigning field offsets as a side effect.
+
+        Field offsets live on the shared :class:`StructField` objects, so a
+        struct lowered under several pointer layouts (the differential
+        runner parses once and lowers the same AST per layout) must restore
+        *this* layout's offsets on a cache hit — the memoized size and
+        alignment alone would leave the other layout's offsets installed.
+        Layout is a pure function of the context's pointer layout, so the
+        cache keys on that (an ``id(ctx)`` key could alias a dead context
+        whose id was recycled).
+        """
         if not self.complete:
             raise TypeCheckError(f"use of incomplete struct {self.tag!r}")
-        key = id(ctx)
-        if key in self._layout_cache:
-            return self._layout_cache[key]
+        key = (ctx.pointer_bytes, ctx.pointer_align)
+        cached = self._layout_cache.get(key)
+        if cached is not None:
+            size, align, offsets = cached
+            if self._offsets_owner != key:
+                for struct_field, offset in zip(self.fields, offsets):
+                    struct_field.offset = offset
+                self._offsets_owner = key
+            return size, align
         size = 0
         align = 1
         for struct_field in self.fields:
@@ -212,7 +233,9 @@ class StructType(CType):
                 struct_field.offset = size
                 size += f_size
         size = _round_up(size, align) if size else align
-        self._layout_cache[key] = (size, align)
+        self._layout_cache[key] = (size, align,
+                                   tuple(f.offset for f in self.fields))
+        self._offsets_owner = key
         return size, align
 
     def size(self, ctx: "TypeContext") -> int:

@@ -55,10 +55,30 @@ _STRING_ESCAPES = {
 }
 
 
+def _pointer_qualifiers(qualifiers: Qualifiers) -> str:
+    """Pointer-level qualifier keywords (" __input", " __capability", ...).
+
+    ``__input``/``__output`` imply ``__capability`` in the parser, so they
+    are rendered alone; a bare capability qualifier renders as
+    ``__capability``.  The rendered string round-trips to the same flag set.
+    """
+    if qualifiers & Qualifiers.INPUT:
+        quals = " __input"
+    elif qualifiers & Qualifiers.OUTPUT:
+        quals = " __output"
+    elif qualifiers & Qualifiers.CAPABILITY:
+        quals = " __capability"
+    else:
+        quals = ""
+    if qualifiers & Qualifiers.CONST:
+        quals += " const"
+    return quals
+
+
 def type_to_str(ctype: CType) -> str:
     """Render an abstract type (cast / sizeof position)."""
     if isinstance(ctype, PointerType):
-        return f"{type_to_str(ctype.pointee)} *"
+        return f"{type_to_str(ctype.pointee)} *{_pointer_qualifiers(ctype.qualifiers)}"
     if isinstance(ctype, StructType):
         kind = "union" if ctype.is_union else "struct"
         return f"{kind} {ctype.tag}"
@@ -81,7 +101,8 @@ def declarator_to_str(ctype: CType, name: str) -> str:
         ctype = ctype.element
     stars = ""
     while isinstance(ctype, PointerType):
-        stars = "*" + stars
+        quals = _pointer_qualifiers(ctype.qualifiers)
+        stars = "*" + (quals.lstrip() + " " if quals else "") + stars
         ctype = ctype.pointee
     base = type_to_str(ctype)
     return f"{base} {stars}{name}{suffix}"

@@ -402,3 +402,42 @@ class TestExecutionSemantics:
     def test_addition_matches_python(self, a, b):
         source = f"int main(void) {{ return {a} + {b} == {a + b} ? 0 : 1; }}"
         assert self._run(source) == 0
+
+
+class TestSharedAstLayouts:
+    """compile_unit lowers one parsed AST under several pointer layouts; the
+    struct-layout memo must restore each context's field offsets on reuse
+    (offsets live on shared StructField objects — PR 5 regression)."""
+
+    SOURCE = """
+    struct S { char c; int *p; long tail; };
+    int main(void) {
+        struct S s;
+        s.tail = 7;
+        mini_checkpoint((int)s.tail);
+        return 0;
+    }
+    """
+
+    @staticmethod
+    def _field_offsets(module):
+        from repro.minic.ir import Opcode
+        return [instr.attrs["offset"] for fn in module.functions.values()
+                for instr in fn.instrs if instr.op is Opcode.FIELD]
+
+    def test_context_reuse_after_other_layout_restores_offsets(self):
+        from repro.minic.irgen import compile_unit
+        from repro.minic.parser import parse
+        from repro.minic.typesys import TypeContext
+
+        unit, _ = parse(self.SOURCE)
+        ctx8 = TypeContext(pointer_bytes=8)
+        first = self._field_offsets(compile_unit(unit, context=ctx8))
+        wide = self._field_offsets(compile_unit(unit, pointer_bytes=32, pointer_align=32))
+        again = self._field_offsets(compile_unit(unit, context=ctx8))
+        assert first == again
+        assert wide != first  # the capability layout really is different
+
+        from repro.interp.machine import AbstractMachine
+        result = AbstractMachine(compile_unit(unit, context=ctx8), "pdp11").run()
+        assert result.exit_code == 0 and result.checkpoints == [7]

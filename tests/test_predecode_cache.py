@@ -1,0 +1,255 @@
+"""Guardrails for the predecode-artifact cache and shared block binding.
+
+PR 5 split ``interp/predecode.py::compile_function`` into a model-independent
+artifact (``interp/artifact.py``, cached process-wide per ``(function,
+pointer layout)``) plus a per-machine binding step, with shared
+superinstruction plans bound lazily once a function proves hot.  These tests
+pin the three contracts that make the split safe:
+
+* **observational identity** — the golden-metrics observables are
+  bit-identical with shared blocks on and off, across all seven models,
+  including instruction budgets exhausting mid-block;
+* **the cache actually hits** — a differential mini-sweep reuses one
+  artifact per (function, layout) across every model of that layout;
+* **no cross-machine leakage** — two machines with different models bound
+  against the same artifact produce exactly what they produce alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import compile_for_model
+from repro.difftest import DifferentialRunner, classify_sweep, generate_corpus, summarize
+from repro.interp.artifact import ARTIFACTS, get_artifact
+from repro.interp.machine import AbstractMachine
+from repro.interp.models import PAPER_MODEL_ORDER, get_model
+from repro.interp.predecode import HOT_CALL_THRESHOLD
+
+from test_metrics_golden import GOLDEN, WORKLOADS
+
+
+def observables(result) -> dict:
+    return dict(
+        instructions=result.instructions,
+        cycles=result.cycles,
+        memory_accesses=result.memory_accesses,
+        allocations=result.allocations,
+        output=result.output.decode("latin-1"),
+        exit_code=result.exit_code,
+        trap=type(result.trap).__name__ if result.trap else None,
+        trap_text=str(result.trap) if result.trap else None,
+        checkpoints=result.checkpoints,
+    )
+
+
+def run_shared(source: str, model_name: str, **kwargs):
+    model = get_model(model_name)
+    module = compile_for_model(source, model)
+    return AbstractMachine(module, model, shared_blocks=True, **kwargs).run()
+
+
+# ---------------------------------------------------------------------------
+# Observational identity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("model", PAPER_MODEL_ORDER)
+def test_shared_blocks_match_golden_metrics(workload: str, model: str) -> None:
+    """The exact goldens pinned for the specialized engine hold verbatim on
+    a shared-blocks machine (same counters, output, traps, checkpoints)."""
+    expected = GOLDEN[f"{workload}/{model}"]
+    observed = observables(run_shared(WORKLOADS[workload](), model))
+    observed.pop("trap_text")
+    assert observed == expected
+
+
+#: helper runs often enough to cross HOT_CALL_THRESHOLD, so the shared
+#: block plans are exercised (not just the cold per-instruction handlers).
+HOT_SOURCE = r"""
+int accumulate(int *p, int n) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; i++) acc += p[i] * 2;
+    return acc;
+}
+
+int main(void) {
+    int data[6];
+    int i;
+    long total = 0;
+    for (i = 0; i < 6; i++) data[i] = i * 5 - 3;
+    for (i = 0; i < 8; i++) total += accumulate(data, 6);
+    mini_checkpoint((int)total);
+    mini_output_int(total);
+    return (int)(total & 63);
+}
+"""
+
+
+@pytest.mark.parametrize("model", PAPER_MODEL_ORDER)
+def test_budget_exhaustion_identical_in_both_modes(model: str) -> None:
+    """Budgets landing at *every* point of the program — including inside
+    hot (block-compiled) code and on the consumer half of fused
+    pointer-move/memory pairs, where restricted fusion once diverged by one
+    cycle — must trap with identical counters in both modes."""
+    from repro.difftest import generate_program
+
+    source = generate_program(7, 3).source
+    resolved = get_model(model)
+    module = compile_for_model(source, resolved)
+    full = AbstractMachine(module, get_model(model)).run().instructions
+    # exhaustive on the three distinct charging shapes (pdp11's check
+    # policy, strict's mem fusion, cheri_v2's no-fusion layout); strided
+    # elsewhere to keep tier-1 fast
+    stride = 1 if model in ("pdp11", "strict", "cheri_v2") else 7
+    for budget in range(1, full + 2, stride):
+        specialized = AbstractMachine(module, get_model(model),
+                                      max_instructions=budget).run()
+        shared = AbstractMachine(module, get_model(model),
+                                 max_instructions=budget, shared_blocks=True).run()
+        assert observables(specialized) == observables(shared), budget
+
+    # and the hot-helper case: the trap lands inside bound block plans
+    hot_full = AbstractMachine(compile_for_model(HOT_SOURCE, resolved),
+                               get_model(model), shared_blocks=True).run()
+    budget = hot_full.instructions // 2
+    specialized = AbstractMachine(compile_for_model(HOT_SOURCE, resolved), get_model(model),
+                                  max_instructions=budget).run()
+    shared = AbstractMachine(compile_for_model(HOT_SOURCE, resolved), get_model(model),
+                             max_instructions=budget, shared_blocks=True).run()
+    assert observables(specialized) == observables(shared)
+    assert shared.trap is not None and "instruction budget" in str(shared.trap)
+
+
+def test_hot_functions_get_blocks_and_cold_ones_do_not() -> None:
+    model = get_model("pdp11")
+    module = compile_for_model(HOT_SOURCE, model)
+    machine = AbstractMachine(module, model, shared_blocks=True)
+    machine.run()
+    by_name = {code.function.name: code
+               for code in machine._code_cache.values()}
+    helper = by_name["accumulate"]
+    assert helper.calls >= HOT_CALL_THRESHOLD
+    assert helper.blocks, "hot helper should have bound its shared block plans"
+    assert helper.pending_blocks is None
+    main = by_name["main"]
+    assert main.pending_blocks is not None, "main ran once: binding still deferred"
+    assert not main.blocks
+
+
+# ---------------------------------------------------------------------------
+# Cache behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_artifact_cache_hits_across_the_model_replay() -> None:
+    """One program, seven models: every model of a layout binds the same
+    artifact, so the replay is all hits after the first machine per layout."""
+    ARTIFACTS.clear()
+    runner = DifferentialRunner(analyze=False)
+    result = runner.run_source(HOT_SOURCE)
+    assert not result.compile_errors and len(result.results) == 7
+    stats = ARTIFACTS.stats()
+    # 2 layouts x (accumulate, main): 4 misses; the other machines hit.
+    assert stats["misses"] == 4
+    # 5 models share the 8-byte artifacts, 2 share the capability ones:
+    # (5-1)*2 + (2-1)*2 = 10 hits at minimum (reruns only add more).
+    assert stats["hits"] >= 10
+
+
+def test_mini_sweep_with_cold_and_warm_cache_classifies_identically() -> None:
+    programs = generate_corpus(7, 6)
+    runner = DifferentialRunner(analyze=False)
+    ARTIFACTS.clear()
+    cold = summarize(classify_sweep(runner.sweep(programs)))
+    hits_after_cold = ARTIFACTS.stats()["hits"]
+    warm = summarize(classify_sweep(runner.sweep(programs)))
+    assert cold == warm
+    assert hits_after_cold > 0
+
+
+def test_artifact_identity_is_verified_not_assumed() -> None:
+    """A cache key can only be reused by the very same function object."""
+    model = get_model("pdp11")
+    module = compile_for_model(HOT_SOURCE, model)
+    function = module.functions["accumulate"]
+    first = get_artifact(function, module.context)
+    assert get_artifact(function, module.context) is first
+    other_module = compile_for_model(HOT_SOURCE, model)
+    other = get_artifact(other_module.functions["accumulate"], other_module.context)
+    assert other is not first
+
+
+# ---------------------------------------------------------------------------
+# Cross-machine isolation
+# ---------------------------------------------------------------------------
+
+
+def test_no_cross_machine_state_leakage() -> None:
+    """Two machines with *different models* bound against the same shared
+    artifacts, run interleaved, behave exactly like solo runs."""
+    source = WORKLOADS["sub_idiom"]()
+    solo = {name: observables(run_shared(source, name))
+            for name in ("pdp11", "strict", "cheri_v2")}
+
+    # Interleaved: one module per layout, machines sharing artifacts.
+    module8 = compile_for_model(source, get_model("pdp11"))
+    module32 = compile_for_model(source, get_model("cheri_v2"))
+    machines = {
+        "pdp11": AbstractMachine(module8, get_model("pdp11"), shared_blocks=True),
+        "strict": AbstractMachine(module8, get_model("strict"), shared_blocks=True),
+        "cheri_v2": AbstractMachine(module32, get_model("cheri_v2"), shared_blocks=True),
+    }
+    interleaved = {name: observables(machine.run())
+                   for name, machine in machines.items()}
+    assert interleaved == solo
+    # and running a second strict machine against the now-warm artifacts
+    # still reproduces the solo observables
+    again = AbstractMachine(compile_for_model(source, get_model("strict")),
+                            get_model("strict"), shared_blocks=True).run()
+    assert observables(again) == solo["strict"]
+
+
+def test_reoptimizing_a_function_invalidates_its_artifact() -> None:
+    """In-place optimizer passes bump Function.mutations (via
+    invalidate_label_index), which the cache verifies on every hit."""
+    from repro.minic.optimizer import optimize_module
+
+    model = get_model("pdp11")
+    module = compile_for_model(HOT_SOURCE, model)
+    function = module.functions["main"]
+    before = get_artifact(function, module.context)
+    optimize_module(module)  # mutates in place even when nothing folds anew
+    after = get_artifact(function, module.context)
+    assert after is not before
+
+
+def test_provenance_overriding_model_identical_in_both_modes() -> None:
+    """A model that overrides propagate_provenance must see every operand:
+    shared blocks demote its arithmetic to charge-point closure calls and
+    stay observationally identical to the specialized engine."""
+    from repro.interp.models.strict import StrictModel
+
+    class TracingStrict(StrictModel):
+        name = "strict_tracing"
+        calls = 0
+
+        def propagate_provenance(self, left, right, result):
+            TracingStrict.calls += 1
+            return super().propagate_provenance(left, right, result)
+
+    def run(shared: bool):
+        model = TracingStrict()
+        module = compile_for_model(HOT_SOURCE, model)
+        return AbstractMachine(module, model, shared_blocks=shared).run()
+
+    specialized = observables(run(False))
+    hook_calls_specialized = TracingStrict.calls
+    TracingStrict.calls = 0
+    shared = observables(run(True))
+    assert specialized == shared
+    assert specialized["trap"] is None
+    # the overridden hook really ran, equally often, in both modes
+    assert TracingStrict.calls == hook_calls_specialized > 0

@@ -1,15 +1,23 @@
-"""Lint guard: compiled bytecode must never be committed.
+"""Repository hygiene guards: bytecode, documentation links, docstrings.
 
 The seed repository carried 51 ``src/**/__pycache__/*.pyc`` files in the git
 index; a stale committed ``.pyc`` can shadow a source edit for anyone whose
 interpreter version matches, which makes "I changed the file and nothing
 happened" bugs possible.  The index was purged and a root ``.gitignore``
-added; this test keeps it that way.
+added; the bytecode tests keep it that way.
+
+PR 5 added a ``docs/`` subsystem; the documentation tests keep it honest:
+every relative link inside ``docs/*.md`` and ``README.md`` must resolve,
+every ``results/<file>`` either of them cites must exist in the repository,
+and every ``src/repro/*/`` package must carry a real module docstring (the
+docs pages lean on them).
 """
 
 from __future__ import annotations
 
+import ast
 import pathlib
+import re
 import subprocess
 
 import pytest
@@ -44,3 +52,57 @@ def test_gitignore_covers_caches():
     for pattern in ("__pycache__/", "*.pyc", ".pytest_cache/",
                     ".hypothesis/", ".benchmarks/"):
         assert pattern in gitignore, f".gitignore lost the {pattern!r} entry"
+
+
+# ---------------------------------------------------------------------------
+# Documentation
+# ---------------------------------------------------------------------------
+
+#: markdown inline links, keeping only the target: [text](target)
+_MD_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+#: results files cited in prose or tables (``results/<file>`` with a suffix)
+_RESULTS_REF = re.compile(r"results/([A-Za-z0-9_.-]+\.[A-Za-z0-9]+)")
+
+
+def _doc_pages() -> list[pathlib.Path]:
+    pages = sorted((REPO_ROOT / "docs").glob("*.md"))
+    assert pages, "docs/ must contain the subsystem documentation"
+    return pages + [REPO_ROOT / "README.md"]
+
+
+def test_docs_exist():
+    names = {page.name for page in (REPO_ROOT / "docs").glob("*.md")}
+    assert {"models.md", "difftest.md", "pipeline.md"} <= names
+
+
+def test_docs_internal_links_resolve():
+    broken = []
+    for page in _doc_pages():
+        for target in _MD_LINK.findall(page.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            resolved = (page.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(f"{page.relative_to(REPO_ROOT)} -> {target}")
+    assert not broken, f"dangling documentation links: {broken}"
+
+
+def test_docs_reference_existing_results_files():
+    missing = []
+    for page in _doc_pages():
+        for name in _RESULTS_REF.findall(page.read_text(encoding="utf-8")):
+            if not (REPO_ROOT / "results" / name).exists():
+                missing.append(f"{page.relative_to(REPO_ROOT)} cites results/{name}")
+    assert not missing, f"documentation cites absent results files: {missing}"
+
+
+def test_every_package_has_a_module_docstring():
+    inits = sorted((REPO_ROOT / "src" / "repro").glob("*/__init__.py"))
+    assert inits, "src/repro must contain packages"
+    bare = []
+    for init in inits + [REPO_ROOT / "src" / "repro" / "__init__.py"]:
+        tree = ast.parse(init.read_text(encoding="utf-8"))
+        docstring = ast.get_docstring(tree)
+        if not docstring or not docstring.strip():
+            bare.append(str(init.relative_to(REPO_ROOT)))
+    assert not bare, f"packages missing module docstrings: {bare}"
