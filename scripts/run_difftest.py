@@ -2,7 +2,8 @@
 """Differential-execution sweep: generated mini-C corpora across all models.
 
 Generates a seeded corpus of pointer-idiom-heavy programs, executes every
-program under every requested memory model, classifies each (program, model)
+program under every requested memory model on a fault-tolerant sharded
+worker pool (``repro.difftest.service``), classifies each (program, model)
 outcome against the PDP-11 baseline, and writes:
 
 * ``results/table5_differential_matrix.txt`` — the Table-5 outcome matrix
@@ -11,13 +12,17 @@ outcome against the PDP-11 baseline, and writes:
   every interesting (divergent) seed, plus delta-debugged minimal
   reproducers for the first ``--reduce`` divergent programs.
 
-Both outputs are bit-deterministic for a given (seed, count, models, budget):
-run the sweep twice and the files are identical.
+Both outputs are bit-deterministic for a given (seed, count, models,
+budget): worker count, injected faults, retries and ``--resume`` boundaries
+never change a byte.  Every sweep is journaled (one JSON line per completed
+program); an interrupted run continues with ``--resume``.
 
 Usage::
 
     PYTHONPATH=src python scripts/run_difftest.py --seed 0 --count 1000
-    PYTHONPATH=src python scripts/run_difftest.py --count 64 --models pdp11,cheri_v3
+    PYTHONPATH=src python scripts/run_difftest.py --count 200 --jobs 4
+    PYTHONPATH=src python scripts/run_difftest.py --count 200 --jobs 4 --resume
+    PYTHONPATH=src python scripts/run_difftest.py --count 40 --jobs 2 --inject all
 """
 
 from __future__ import annotations
@@ -30,17 +35,21 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.difftest import (  # noqa: E402  (sys.path setup above)
+from repro.common.errors import ServiceError  # noqa: E402  (sys.path setup above)
+from repro.difftest import (  # noqa: E402
     GENERATOR_VERSION,
     DifferentialRunner,
-    classify_sweep,
-    corpus_document,
+    SweepService,
+    corpus_document_from_records,
+    feature_breakdown_from_records,
     format_matrix,
-    generate_corpus,
+    generate_program,
+    parse_inject_spec,
     reduce_program,
-    summarize,
+    summarize_records,
 )
-from repro.difftest.oracle import BASELINE, feature_breakdown, is_divergent  # noqa: E402
+from repro.difftest.oracle import BASELINE, is_divergent  # noqa: E402
+from repro.difftest.runner import DEFAULT_BUDGET  # noqa: E402
 from repro.interp.models import PAPER_MODEL_ORDER  # noqa: E402
 
 
@@ -58,58 +67,97 @@ def main(argv: list[str] | None = None) -> int:
                              "JSON corpus (default 3; 0 disables)")
     parser.add_argument("--out-dir", default=None,
                         help="output directory (default: <repo>/results)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker subprocesses (default 1)")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-program wall-clock timeout in seconds (default 30)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="attempts beyond the first before a program is "
+                             "quarantined (default 2)")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue from this sweep's journal instead of "
+                             "starting over")
+    parser.add_argument("--inject", default=None, metavar="SPEC",
+                        help="fault-injection spec: 'all' or a comma list of "
+                             "crash/hang/engine/journal[:index[:always]] "
+                             "(exercises the supervisor's recovery paths)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="journal file (default: <out-dir>/difftest_journal.jsonl)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)
 
     models = tuple(name.strip() for name in args.models.split(",") if name.strip())
-    runner_kwargs = {"models": models}
-    if args.budget is not None:
-        runner_kwargs["budget"] = args.budget
-    runner = DifferentialRunner(**runner_kwargs)
+    budget = args.budget if args.budget is not None else DEFAULT_BUDGET
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else \
+        pathlib.Path(__file__).resolve().parent.parent / "results"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    journal_path = pathlib.Path(args.journal) if args.journal else \
+        out_dir / "difftest_journal.jsonl"
 
     say = (lambda *a, **k: None) if args.quiet else print
     t0 = time.perf_counter()
-    programs = generate_corpus(args.seed, args.count)
-    say(f"generated {len(programs)} programs (seed={args.seed}, "
-        f"generator v{GENERATOR_VERSION})")
 
-    def progress(i, program):
-        if not args.quiet and (i + 1) % 100 == 0:
-            say(f"  swept {i + 1}/{len(programs)} programs "
+    def progress(done, total):
+        if not args.quiet and done % 100 == 0:
+            say(f"  swept {done}/{total} programs "
                 f"({time.perf_counter() - t0:.1f}s)")
 
-    results = runner.sweep(programs, progress=progress)
+    try:
+        inject = parse_inject_spec(args.inject, args.count) if args.inject else None
+        service = SweepService(
+            seed=args.seed, count=args.count, models=models, budget=budget,
+            jobs=args.jobs, timeout=args.timeout, retries=args.retries,
+            inject=inject, journal_path=str(journal_path), progress=progress,
+        )
+        say(f"sweeping {args.count} programs (seed={args.seed}, generator "
+            f"v{GENERATOR_VERSION}) across {args.jobs} worker(s)"
+            + (", resuming" if args.resume else ""))
+        outcome = service.run(resume=args.resume)
+    except ServiceError as exc:
+        print(f"run_difftest: {exc}", file=sys.stderr)
+        return 2
+    records, stats = outcome.records, outcome.stats
     sweep_seconds = time.perf_counter() - t0
-    classifications = classify_sweep(results)
-    summary = summarize(classifications)
-    runs = len(programs) * len(models)
-    say(f"swept {len(programs)} programs x {len(models)} models in "
-        f"{sweep_seconds:.1f}s ({runs / sweep_seconds:.0f} program-runs/s)")
+    runs = args.count * len(models)
+    say(f"swept {args.count} programs x {len(models)} models in "
+        f"{sweep_seconds:.1f}s ({runs / max(sweep_seconds, 1e-9):.0f} "
+        f"program-runs/s)")
+    noteworthy = {key: value for key, value in stats.items()
+                  if value and key not in ("completed",)}
+    if noteworthy:
+        say("  service stats: " + ", ".join(f"{k}={v}"
+                                            for k, v in sorted(noteworthy.items())))
 
     meta = {
         "seed": args.seed,
         "count": args.count,
         "models": list(models),
-        "budget": runner.budget,
+        "budget": budget,
         "generator_version": GENERATOR_VERSION,
         "baseline": BASELINE,
     }
-    matrix_text = format_matrix(summary, feature_breakdown(programs, classifications),
-                                meta=meta)
-    document = corpus_document(programs, results, classifications, meta=meta)
+    matrix_text = format_matrix(summarize_records(records),
+                                feature_breakdown_from_records(records), meta=meta)
+    document = corpus_document_from_records(records, meta=meta)
 
     if args.reduce:
-        reducer_runner = DifferentialRunner(models=models, budget=runner.budget,
+        # Reduction replays live in the supervisor: regenerate each divergent
+        # program from its index (records carry no sources by design).
+        reducer_runner = DifferentialRunner(models=models, budget=budget,
                                             analyze=False)
         reductions = []
-        for program, classification in zip(programs, classifications):
+        for record in records:
             if len(reductions) >= args.reduce:
                 break
+            classification = record["classification"]
             if not is_divergent(classification):
                 continue
             model = next(m for m in models
                          if classification[m] not in ("agree", "agree-trap"))
             category = classification[model]
+            if category in ("error:engine", "error:timeout"):
+                continue  # quarantined cells have nothing to replay
+            program = generate_program(args.seed, record["index"])
             try:
                 reduction = reduce_program(program, model, category,
                                            runner=reducer_runner)
@@ -129,9 +177,6 @@ def main(argv: list[str] | None = None) -> int:
             })
         document["reductions"] = reductions
 
-    out_dir = pathlib.Path(args.out_dir) if args.out_dir else \
-        pathlib.Path(__file__).resolve().parent.parent / "results"
-    out_dir.mkdir(parents=True, exist_ok=True)
     matrix_path = out_dir / "table5_differential_matrix.txt"
     corpus_path = out_dir / "difftest_corpus.json"
     matrix_path.write_text(matrix_text + "\n", encoding="utf-8")

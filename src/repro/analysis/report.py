@@ -118,7 +118,10 @@ def format_table5(summary: dict[str, dict[str, int]], features: dict, *,
     ``summary`` is ``{model: {category: count}}``, ``features`` is
     ``{feature: {model: {category: count}}}`` (both as produced by
     :mod:`repro.difftest.oracle`); ``meta`` carries seed/count/budget and the
-    model order of the sweep.
+    model order of the sweep.  Only observed categories get columns, so the
+    service-quarantine cells (``error:engine``/``error:timeout``) appear
+    exactly when a sharded sweep actually quarantined a program — a
+    fault-free matrix is rendered identically by serial and sharded runs.
     """
     models = list(meta.get("models") or summary)
     seen = {category for model in models for category in summary.get(model, {})}

@@ -21,9 +21,41 @@ answer*, one that *traps* (the memory model rejects the idiom), and one that
 
 from __future__ import annotations
 
+import pickle
+
+
+def _rebuild_error(cls, args, state):
+    """Reconstruct a :class:`ReproError` on the far side of a pickle boundary.
+
+    Constructors in this hierarchy take keyword-only metadata and may rewrite
+    the message (:class:`CompilationError` appends the source location), so
+    the default ``Exception.__reduce__`` — which re-invokes ``cls(*args)`` —
+    would either fail or double-apply that rewriting.  Rebuilding bypasses
+    ``__init__`` and restores ``args`` plus the structured attributes
+    verbatim.
+    """
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, *args)
+    for name, value in state.items():
+        setattr(exc, name, value)
+    return exc
+
 
 class ReproError(Exception):
-    """Base class of every exception intentionally raised by this library."""
+    """Base class of every exception intentionally raised by this library.
+
+    Every subclass pickles losslessly (``__reduce__`` below): trap causes,
+    fault addresses and source locations survive a multiprocessing boundary,
+    so the sharded difftest service never falls back to parsing messages.
+    Subclasses with keyword-only constructor metadata override
+    :meth:`_pickle_state` to name the attributes that must travel.
+    """
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), self.args, self._pickle_state()))
+
+    def _pickle_state(self) -> dict:
+        return {}
 
 
 # ---------------------------------------------------------------------------
@@ -51,6 +83,20 @@ class MemorySafetyError(ReproError):
         self.address = address
         self.capability = capability
         self.cause = cause or self.default_cause
+
+    def _pickle_state(self) -> dict:
+        capability = self.capability
+        if capability is not None:
+            # The faulting capability can reference interpreter-internal
+            # object graphs (heap objects, allocator state) that have no
+            # business crossing a process boundary; degrade to its repr
+            # rather than poisoning the whole trap.
+            try:
+                pickle.dumps(capability)
+            except Exception:
+                capability = repr(capability)
+        return {"address": self.address, "capability": capability,
+                "cause": self.cause}
 
 
 class BoundsViolation(MemorySafetyError):
@@ -96,6 +142,9 @@ class CompilationError(ReproError):
         self.line = line
         self.column = column
 
+    def _pickle_state(self) -> dict:
+        return {"line": self.line, "column": self.column}
+
 
 class LexError(CompilationError):
     """The lexer encountered an invalid token."""
@@ -131,6 +180,9 @@ class TrapError(SimulationError):
         self.cause = cause
         self.pc = pc
 
+    def _pickle_state(self) -> dict:
+        return {"cause": self.cause, "pc": self.pc}
+
 
 # ---------------------------------------------------------------------------
 # Abstract-machine interpreter
@@ -144,3 +196,20 @@ class InterpreterError(ReproError):
 class UndefinedBehaviorError(InterpreterError):
     """The interpreted program relied on behaviour the active memory model
     defines as undefined (the model chose to report rather than continue)."""
+
+
+# ---------------------------------------------------------------------------
+# Differential-sweep service
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """The sharded difftest service could not satisfy a request: a resume
+    journal from a different sweep, an unusable worker pool, or an injection
+    spec that does not fit the corpus."""
+
+
+class JournalError(ServiceError):
+    """A sweep journal is unreadable beyond torn-tail recovery: missing or
+    wrong header, or a corrupt line in the *interior* of the file (a torn
+    final line is recovered automatically, not reported here)."""

@@ -17,10 +17,15 @@ cross-layer litmus sweeps:
   the PDP-11 baseline into a total trap/corruption/benign taxonomy and
   renders the Table-5 matrix plus a JSON corpus of interesting seeds;
 * :mod:`repro.difftest.reducer` delta-debugs any divergent program at the
-  AST level down to a minimal reproducer with the same classification.
+  AST level down to a minimal reproducer with the same classification;
+* :mod:`repro.difftest.service` shards the sweep across a fault-tolerant
+  pool of worker subprocesses (timeouts, respawn, quarantine), journaled by
+  :mod:`repro.difftest.journal` for ``--resume``, with deliberate failures
+  supplied by :mod:`repro.difftest.faultinject`.
 
 ``scripts/run_difftest.py`` is the command-line entry point;
-``tests/test_difftest.py`` pins a 64-program sweep as a regression oracle.
+``tests/test_difftest.py`` pins a 64-program sweep as a regression oracle
+and ``tests/test_difftest_service.py`` pins the recovery paths.
 """
 
 from repro.difftest.generator import (
@@ -30,16 +35,23 @@ from repro.difftest.generator import (
     generate_corpus,
     generate_program,
 )
+from repro.difftest.faultinject import Fault, FaultPlan, parse_inject_spec
+from repro.difftest.journal import JournalWriter, load_journal
 from repro.difftest.oracle import (
     CATEGORIES,
+    cell_record,
     classify_results,
     classify_sweep,
     corpus_document,
+    corpus_document_from_records,
+    feature_breakdown_from_records,
     format_matrix,
     summarize,
+    summarize_records,
 )
 from repro.difftest.runner import DifferentialRunner, ProgramResult
 from repro.difftest.reducer import reduce_program
+from repro.difftest.service import SweepOutcome, SweepService
 
 __all__ = [
     "GENERATOR_VERSION",
@@ -50,10 +62,21 @@ __all__ = [
     "DifferentialRunner",
     "ProgramResult",
     "CATEGORIES",
+    "cell_record",
     "classify_results",
     "classify_sweep",
     "corpus_document",
+    "corpus_document_from_records",
+    "feature_breakdown_from_records",
     "format_matrix",
     "summarize",
+    "summarize_records",
     "reduce_program",
+    "Fault",
+    "FaultPlan",
+    "parse_inject_spec",
+    "JournalWriter",
+    "load_journal",
+    "SweepOutcome",
+    "SweepService",
 ]

@@ -68,6 +68,12 @@ CATEGORIES = (
     "budget",
     "error:interp",
     "error:compile",
+    # Service-level quarantine cells (difftest/service.py): the worker
+    # executing the program died repeatedly (`error:engine`) or exceeded the
+    # per-program wall-clock timeout (`error:timeout`).  The taxonomy stays
+    # total even when the infrastructure, not the program, misbehaves.
+    "error:engine",
+    "error:timeout",
 )
 
 
@@ -163,49 +169,119 @@ def format_matrix(summary: dict[str, dict[str, int]],
     return format_table5(summary, features, meta=meta, category_order=CATEGORIES)
 
 
-def corpus_document(programs, program_results: list[ProgramResult],
-                    classifications: list[dict[str, str]], *, meta: dict) -> dict:
-    """The JSON corpus: sweep metadata plus every interesting seed.
+# ---------------------------------------------------------------------------
+# Per-program cell records (the service's merge currency)
+# ---------------------------------------------------------------------------
+#
+# The sharded service (difftest/service.py) cannot merge ProgramResult
+# objects — they cross a process boundary and a journal, and keeping 100k of
+# them alive would defeat the sweep's memory discipline.  Instead every
+# completed program is condensed into one JSON-safe *cell record* holding
+# exactly the observables the two sweep artifacts need; both artifacts are
+# then rebuilt from records alone.  The legacy in-process entry point
+# (:func:`corpus_document`) delegates to the same record path, so serial and
+# sharded sweeps are bit-identical by construction, not by coincidence.
+
+
+def cell_record(program, program_result: ProgramResult,
+                classification: dict[str, str]) -> dict:
+    """Condense one program's outcome into a JSON-safe record.
+
+    The record survives ``json.dumps``/``loads`` round-trips unchanged
+    (plain ints, strings, lists, dicts), which is what lets the write-ahead
+    journal checkpoint a sweep without losing artifact fidelity.
+    """
+    record = {
+        "index": program.index,
+        "seed": program.seed,
+        "features": list(program.features),
+        # Classification keeps classify_results' insertion order: the matrix
+        # derives its model-column order from first encounter, and JSON
+        # object order survives the journal round-trip.
+        "classification": dict(classification),
+        "metrics": {model: [result.allocations, result.allocated_bytes]
+                    for model, result in program_result.results.items()},
+    }
+    if program_result.analysis is not None:
+        record["idioms"] = {idiom.name: program_result.analysis.count(idiom)
+                            for idiom in TABLE_IDIOMS
+                            if program_result.analysis.count(idiom)}
+    return record
+
+
+def summarize_records(records) -> dict[str, dict[str, int]]:
+    """``{model: {category: count}}`` over cell records."""
+    totals: dict[str, Counter] = {}
+    for record in records:
+        for model, category in record["classification"].items():
+            totals.setdefault(model, Counter())[category] += 1
+    return {model: dict(counter) for model, counter in totals.items()}
+
+
+def feature_breakdown_from_records(records) -> dict:
+    """``{feature: {model: {category: count}}}`` over cell records."""
+    table: dict[str, dict[str, Counter]] = {}
+    for record in records:
+        for feature in record["features"]:
+            per_model = table.setdefault(feature, {})
+            for model, category in record["classification"].items():
+                per_model.setdefault(model, Counter())[category] += 1
+    return {feature: {model: dict(counter) for model, counter in per_model.items()}
+            for feature, per_model in sorted(table.items())}
+
+
+def corpus_document_from_records(records, *, meta: dict) -> dict:
+    """The JSON corpus rebuilt from cell records.
 
     Deterministic by construction — no timestamps, stable ordering — so two
-    identical sweeps serialize byte-identically.
+    identical sweeps serialize byte-identically regardless of worker count,
+    retries or resume boundaries (callers pass records ordered by index).
     """
     divergent = []
-    for program, program_result, classification in zip(programs, program_results,
-                                                       classifications):
+    for record in records:
+        classification = record["classification"]
         if not is_divergent(classification):
             continue
-        base = program_result.results.get(BASELINE)
         entry = {
-            "index": program.index,
-            "seed": f"{program.seed:#x}",
-            "features": list(program.features),
+            "index": record["index"],
+            "seed": f"{record['seed']:#x}",
+            "features": list(record["features"]),
             "classification": {m: classification[m] for m in sorted(classification)},
             "kinds": sorted({category for category in classification.values()
                              if category not in ("agree", "agree-trap")}),
         }
+        metrics = record["metrics"]
+        base = metrics.get(BASELINE)
         if base is not None:
             entry["heap_metric_deltas"] = {
                 model: {
-                    "allocations": result.allocations - base.allocations,
-                    "allocated_bytes": result.allocated_bytes - base.allocated_bytes,
+                    "allocations": counts[0] - base[0],
+                    "allocated_bytes": counts[1] - base[1],
                 }
-                for model, result in sorted(program_result.results.items())
-                if model != BASELINE
-                and (result.allocations != base.allocations
-                     or result.allocated_bytes != base.allocated_bytes)
+                for model, counts in sorted(metrics.items())
+                if model != BASELINE and counts != base
             }
-        if program_result.analysis is not None:
-            idioms = {idiom.name: program_result.analysis.count(idiom)
-                      for idiom in TABLE_IDIOMS
-                      if program_result.analysis.count(idiom)}
-            if idioms:
-                entry["idioms"] = idioms
+        idioms = record.get("idioms")
+        if idioms:
+            entry["idioms"] = dict(idioms)
         divergent.append(entry)
     return {
         "meta": dict(sorted(meta.items())),
         "summary": {model: dict(sorted(counts.items()))
-                    for model, counts in sorted(summarize(classifications).items())},
-        "features": feature_breakdown(programs, classifications),
+                    for model, counts in sorted(summarize_records(records).items())},
+        "features": feature_breakdown_from_records(records),
         "divergent": divergent,
     }
+
+
+def corpus_document(programs, program_results: list[ProgramResult],
+                    classifications: list[dict[str, str]], *, meta: dict) -> dict:
+    """The JSON corpus: sweep metadata plus every interesting seed.
+
+    Thin wrapper over the record path so in-process and sharded sweeps share
+    one artifact builder (see the cell-record commentary above).
+    """
+    records = [cell_record(program, program_result, classification)
+               for program, program_result, classification
+               in zip(programs, program_results, classifications)]
+    return corpus_document_from_records(records, meta=meta)

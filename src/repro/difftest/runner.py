@@ -52,8 +52,12 @@ class DifferentialRunner:
 
     def __init__(self, models: tuple[str, ...] | None = None, *,
                  budget: int = DEFAULT_BUDGET, analyze: bool = True,
-                 collect_timing: bool = False) -> None:
+                 collect_timing: bool = False, machine_hook=None) -> None:
         self.model_names = tuple(models or PAPER_MODEL_ORDER)
+        #: optional callable ``(machine, model_name)`` invoked on every
+        #: freshly constructed machine before it runs — the fault-injection
+        #: harness uses it to arm engine faults (difftest/faultinject.py).
+        self.machine_hook = machine_hook
         unknown = [m for m in self.model_names if m not in PAPER_MODEL_ORDER]
         if unknown:
             raise ValueError(f"unknown models: {unknown}; known: {PAPER_MODEL_ORDER}")
@@ -117,6 +121,8 @@ class DifferentialRunner:
                     collect_timing=self.collect_timing,
                     shared_blocks=True,
                 )
+                if self.machine_hook is not None:
+                    self.machine_hook(machine, name)
                 result = machine.run()
                 if result.trap is not None:
                     # The oracle classifies on the trap's type, message and

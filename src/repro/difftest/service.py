@@ -1,0 +1,362 @@
+"""Fault-tolerant sharded sweep supervisor.
+
+The differential sweep becomes a *service*: a supervisor process shards the
+seeded program stream across a pool of isolated worker subprocesses, and no
+single program can take the sweep down.
+
+Fault model and responses
+-------------------------
+* **Worker death** (segfault-equivalent, OOM kill, unpicklable blow-up):
+  the worker is respawned with exponential backoff and its in-flight
+  program is retried.
+* **Hang**: a per-program wall-clock deadline; on expiry the worker is
+  killed and treated as dead.
+* **Poison programs**: a program that keeps failing after ``retries``
+  attempts is quarantined into an ``error:engine`` / ``error:timeout``
+  classification for every requested model — the Table-5 taxonomy stays
+  total instead of the run aborting.
+* **Interpreter-internal block errors**: absorbed inside the machine by the
+  block-engine -> single-step fallback (``AbstractMachine._execute``) and
+  surfaced here only as a statistic.
+* **Torn journal tails**: recovered by ``journal.load_journal`` before
+  resuming (and, under ``--inject journal``, mid-run).
+
+Determinism contract
+--------------------
+Workers never ship programs or results across the process boundary — a task
+is ``(index, attempt)``, the worker regenerates the program from
+``(corpus_seed, index)`` and returns the JSON-safe
+:func:`~repro.difftest.oracle.cell_record`.  Records are merged ordered by
+index (the generator makes per-program seeds a pure function of index), so
+the rebuilt artifacts are bit-identical to a serial in-process sweep
+regardless of worker count, retries, injected faults or resume boundaries.
+The write-ahead journal holds exactly these records, one line per program,
+which is why ``--resume`` composes with everything else.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.common.errors import ServiceError
+from repro.difftest.faultinject import FaultPlan
+from repro.difftest.generator import GENERATOR_VERSION, generate_program
+from repro.difftest.journal import (
+    JournalWriter,
+    load_journal,
+    make_header,
+    truncate_to,
+)
+from repro.difftest.oracle import cell_record, classify_results
+from repro.difftest.runner import DEFAULT_BUDGET, DifferentialRunner
+from repro.interp.models import PAPER_MODEL_ORDER
+
+#: sweep-identity header fields that must match for ``--resume`` (the rest of
+#: the header — kind/version — is checked by the journal layer itself).
+_IDENTITY_FIELDS = ("seed", "count", "models", "budget", "generator_version",
+                    "analyze")
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced: records in index order, plus run stats."""
+
+    records: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+
+def _worker_main(worker_id: int, corpus_seed: int, model_names, budget: int,
+                 analyze: bool, plan, task_q, result_q) -> None:
+    """Worker loop: regenerate, run, classify, condense — one task at a time.
+
+    Runs in a subprocess.  Tasks are ``("run", index, attempt)`` tuples;
+    ``("stop",)`` ends the loop.  Every completed program answers with
+    ``("ok", index, record, engine_fallbacks)``; an in-worker failure
+    answers ``("error", index, detail)`` and keeps the worker alive.
+    """
+    runner = DifferentialRunner(models=tuple(model_names), budget=budget,
+                                analyze=analyze)
+    # Same GC discipline as DifferentialRunner.sweep: the per-program machine
+    # graphs are cyclic; reclaim them with cheap young-generation passes.
+    gc.disable()
+    done = 0
+    while True:
+        task = task_q.get()
+        if task[0] == "stop":
+            return
+        _, index, attempt = task
+        try:
+            if plan is not None:
+                plan.fire_worker_fault(index, attempt)
+                runner.machine_hook = plan.machine_hook(index, attempt)
+            program = generate_program(corpus_seed, index)
+            program_result = runner.run_program(program)
+            classification = classify_results(program_result)
+            record = cell_record(program, program_result, classification)
+            fallbacks = sum(r.engine_fallbacks
+                            for r in program_result.results.values())
+            result_q.put(("ok", index, record, fallbacks))
+        except Exception as exc:
+            result_q.put(("error", index, f"{type(exc).__name__}: {exc}"))
+        done += 1
+        if done % 4 == 0:
+            gc.collect(1)
+
+
+class SweepService:
+    """Supervisor for one sharded, journaled, fault-tolerant sweep."""
+
+    #: supervisor poll interval while all workers are busy.
+    POLL_SECONDS = 0.01
+
+    def __init__(self, *, seed: int, count: int, models=None,
+                 budget: int = DEFAULT_BUDGET, analyze: bool = True,
+                 jobs: int = 1, timeout: float = 30.0, retries: int = 2,
+                 inject: FaultPlan | None = None, journal_path: str,
+                 progress=None) -> None:
+        self.seed = seed
+        self.count = count
+        self.model_names = tuple(models or PAPER_MODEL_ORDER)
+        unknown = [m for m in self.model_names if m not in PAPER_MODEL_ORDER]
+        if unknown:
+            raise ServiceError(f"unknown models: {unknown}; known: {PAPER_MODEL_ORDER}")
+        if count < 0:
+            raise ServiceError(f"--count must be >= 0, got {count}")
+        if jobs < 1:
+            raise ServiceError(f"--jobs must be >= 1, got {jobs}")
+        if timeout <= 0:
+            raise ServiceError(f"--timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ServiceError(f"--retries must be >= 0, got {retries}")
+        self.budget = budget
+        self.analyze = analyze
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.inject = inject if inject else None
+        self.journal_path = journal_path
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+
+    def _header(self) -> dict:
+        return make_header(seed=self.seed, count=self.count,
+                           models=self.model_names, budget=self.budget,
+                           generator_version=GENERATOR_VERSION,
+                           analyze=self.analyze)
+
+    def _check_resume_header(self, found: dict, expected: dict) -> None:
+        mismatched = [f"{name}: journal has {found.get(name)!r}, "
+                      f"this sweep wants {expected[name]!r}"
+                      for name in _IDENTITY_FIELDS
+                      if found.get(name) != expected[name]]
+        if mismatched:
+            raise ServiceError(
+                f"--resume journal {self.journal_path} belongs to a different "
+                "sweep (" + "; ".join(mismatched) + "); re-run without "
+                "--resume to start over"
+            )
+
+    def _poison_record(self, index: int, cause: str) -> dict:
+        """The quarantine record: every requested cell becomes ``error:<cause>``."""
+        program = generate_program(self.seed, index)
+        category = f"error:{cause}"
+        return {
+            "index": index,
+            "seed": program.seed,
+            "features": list(program.features),
+            "classification": {m: category for m in self.model_names},
+            "metrics": {},
+        }
+
+    def _spawn_worker(self, ctx, worker_id: int, respawns: int = 0) -> dict:
+        # Per-worker queues on BOTH directions: a SIGKILL mid-``put`` can
+        # leave a torn pickle in a pipe, and torn pipes are abandoned with
+        # the worker instead of poisoning a shared result stream.
+        task_q = ctx.SimpleQueue()
+        result_q = ctx.SimpleQueue()
+        proc = ctx.Process(target=_worker_main,
+                           args=(worker_id, self.seed, self.model_names,
+                                 self.budget, self.analyze, self.inject,
+                                 task_q, result_q),
+                           daemon=True, name=f"difftest-worker-{worker_id}")
+        proc.start()
+        return {"proc": proc, "task_q": task_q, "result_q": result_q,
+                "current": None, "deadline": 0.0, "respawns": respawns}
+
+    @staticmethod
+    def _kill_worker(worker: dict) -> None:
+        proc = worker["proc"]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(0.5)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(1.0)
+
+    # ------------------------------------------------------------------
+
+    def run(self, *, resume: bool = False) -> SweepOutcome:
+        """Execute (or finish) the sweep; records come back in index order."""
+        header = self._header()
+        stats = {"completed": 0, "resumed": 0, "retries": 0, "quarantined": 0,
+                 "respawns": 0, "timeouts": 0, "worker_errors": 0,
+                 "engine_fallbacks": 0, "journal_recoveries": 0}
+        completed: dict[int, dict] = {}
+        if resume:
+            if not os.path.exists(self.journal_path):
+                raise ServiceError(f"--resume journal {self.journal_path} does not exist")
+            state = load_journal(self.journal_path)
+            self._check_resume_header(state.header, header)
+            if state.corrupt_tail:
+                truncate_to(self.journal_path, state.valid_bytes)
+                stats["journal_recoveries"] += 1
+            completed = {index: record for index, record in state.records.items()
+                         if 0 <= index < self.count}
+            stats["resumed"] = len(completed)
+            writer = JournalWriter.append_to(self.journal_path)
+        else:
+            writer = JournalWriter.create(self.journal_path, header)
+
+        pending = deque(index for index in range(self.count)
+                        if index not in completed)
+        attempts: dict[int, int] = {}
+        journal_fault = self.inject.journal_fault_index() if self.inject else None
+        workers: dict[int, dict] = {}
+        # fork shares the already-warm interpreter (and its predecode
+        # artifact cache) with the workers; spawn is the portable fallback.
+        method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                  else "spawn")
+        ctx = multiprocessing.get_context(method)
+
+        def record_done(index: int, record: dict, quarantined: bool = False) -> None:
+            nonlocal writer, journal_fault
+            if index in completed:
+                return  # late duplicate from a worker we already gave up on
+            completed[index] = record
+            writer.append(record)
+            stats["completed"] += 1
+            if quarantined:
+                stats["quarantined"] += 1
+            if journal_fault is not None and index == journal_fault:
+                # Injected torn tail + the full recovery cycle, mid-run: the
+                # record just appended stays intact before the torn bytes.
+                journal_fault = None
+                writer.write_raw(b'{"index":999999999,"torn":')
+                writer.close()
+                state = load_journal(self.journal_path)
+                truncate_to(self.journal_path, state.valid_bytes)
+                writer = JournalWriter.append_to(self.journal_path)
+                stats["journal_recoveries"] += 1
+            if self.progress is not None:
+                self.progress(len(completed), self.count)
+
+        def record_failure(index: int, cause: str, detail: str) -> None:
+            attempts[index] = attempts.get(index, 0) + 1
+            stats["timeouts" if cause == "timeout" else "worker_errors"] += 1
+            if attempts[index] > self.retries:
+                record_done(index, self._poison_record(index, cause),
+                            quarantined=True)
+            else:
+                stats["retries"] += 1
+                pending.appendleft(index)
+
+        def drain(worker: dict) -> bool:
+            result_q = worker["result_q"]
+            try:
+                if result_q.empty():
+                    return False
+                message = result_q.get()
+            except (EOFError, OSError):
+                return False
+            if message[0] == "ok":
+                _, index, record, fallbacks = message
+                stats["engine_fallbacks"] += fallbacks
+                record_done(index, record)
+            else:
+                _, index, detail = message
+                record_failure(index, "engine", detail)
+            current = worker["current"]
+            if current is not None and current[0] == message[1]:
+                worker["current"] = None
+            return True
+
+        try:
+            if pending:
+                for worker_id in range(min(self.jobs, len(pending))):
+                    workers[worker_id] = self._spawn_worker(ctx, worker_id)
+            while len(completed) < self.count:
+                progressed = False
+                for worker_id, worker in list(workers.items()):
+                    while drain(worker):
+                        progressed = True
+                    proc = worker["proc"]
+                    if not proc.is_alive():
+                        while drain(worker):
+                            progressed = True
+                        if worker["current"] is not None:
+                            index, _attempt = worker["current"]
+                            worker["current"] = None
+                            record_failure(
+                                index, "engine",
+                                f"worker exited with code {proc.exitcode}")
+                        workers[worker_id] = self._respawn(ctx, worker_id,
+                                                           worker, stats)
+                        progressed = True
+                        continue
+                    if (worker["current"] is not None
+                            and time.monotonic() > worker["deadline"]):
+                        index, _attempt = worker["current"]
+                        worker["current"] = None
+                        self._kill_worker(worker)
+                        record_failure(index, "timeout",
+                                       f"exceeded {self.timeout:.1f}s timeout")
+                        workers[worker_id] = self._respawn(ctx, worker_id,
+                                                           worker, stats)
+                        progressed = True
+                        continue
+                    if worker["current"] is None and pending:
+                        index = pending.popleft()
+                        attempt = attempts.get(index, 0)
+                        worker["task_q"].put(("run", index, attempt))
+                        worker["current"] = (index, attempt)
+                        worker["deadline"] = time.monotonic() + self.timeout
+                        progressed = True
+                if not progressed:
+                    if not pending and all(w["current"] is None
+                                           for w in workers.values()):
+                        missing = sorted(set(range(self.count)) - set(completed))
+                        raise ServiceError(
+                            f"sweep stalled with no work in flight; missing "
+                            f"indices {missing[:8]}")
+                    time.sleep(self.POLL_SECONDS)
+        finally:
+            for worker in workers.values():
+                if worker["proc"].is_alive() and worker["current"] is None:
+                    try:
+                        worker["task_q"].put(("stop",))
+                    except OSError:
+                        pass
+            deadline = time.monotonic() + 2.0
+            for worker in workers.values():
+                worker["proc"].join(max(0.0, deadline - time.monotonic()))
+                self._kill_worker(worker)
+            writer.close()
+
+        return SweepOutcome(
+            records=[completed[index] for index in range(self.count)],
+            stats=stats,
+        )
+
+    def _respawn(self, ctx, worker_id: int, dead_worker: dict, stats: dict) -> dict:
+        respawns = dead_worker["respawns"] + 1
+        stats["respawns"] += 1
+        # Exponential backoff, capped: a worker dying in a tight loop (bad
+        # node, OOM thrash) must not fork-bomb the supervisor.
+        time.sleep(min(0.05 * 2 ** (respawns - 1), 1.0))
+        return self._spawn_worker(ctx, worker_id, respawns)

@@ -175,7 +175,7 @@ class CompiledFunction:
 
     __slots__ = ("function", "paired", "size", "nregs", "nallocas",
                  "frame_proto", "pool", "alloca_proto", "blocks",
-                 "pending_blocks", "calls")
+                 "block_fallbacks", "pending_blocks", "calls")
 
     def __init__(self, function: Function, handlers: list, costs: list,
                  nregs: int, nallocas: int) -> None:
@@ -193,6 +193,10 @@ class CompiledFunction:
         self.alloca_proto = (None,) * nallocas
         #: installed superinstructions: (start_pc, paired_entries, ir_instrs).
         self.blocks: list[tuple[int, int, int]] = []
+        #: leader pc -> the single-step (handler, cost) a block replaced, so
+        #: the machine can demote a misbehaving block handler back to
+        #: instruction-at-a-time dispatch (AbstractMachine._execute).
+        self.block_fallbacks: dict[int, tuple] = {}
         #: shared-block machines defer block binding until the function has
         #: run HOT_CALL_THRESHOLD times: a zero-arg installer closure, or
         #: None once installed (or when blocks are bound eagerly/disabled).
@@ -1284,6 +1288,7 @@ def _install_shared_blocks(machine, function: Function, code: CompiledFunction,
                 "count": counter, "entries": plan.entries, "ir": plan.n_ir}
             b["BC"] = counter
         handler = bind_block(plan.code, b)
+        code.block_fallbacks[plan.start] = code.paired[plan.start]
         code.paired[plan.start] = (handler, costs[plan.start])
         code.blocks.append((plan.start, plan.entries, plan.n_ir))
 
@@ -1329,6 +1334,7 @@ def _install_superinstructions(machine, function: Function, code: CompiledFuncti
         if len(span) >= 2:
             handler, n_ir = _emit_block(machine, function, handlers, costs,
                                         descs, fused, members, terminal, next_pc)
+            code.block_fallbacks[span[0]] = code.paired[span[0]]
             code.paired[span[0]] = (handler, costs[span[0]])
             code.blocks.append((span[0], len(span), n_ir))
         pc = next_pc

@@ -1,0 +1,130 @@
+"""Pickle-safety of the ReproError hierarchy.
+
+The sharded difftest service ships traps across a multiprocessing boundary;
+every exception the library raises intentionally must round-trip through
+pickle with its structured metadata (trap cause, fault address, source
+location) intact — the oracle classifies on those attributes, never by
+parsing messages.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.common.errors import (
+    AlignmentViolation,
+    BoundsViolation,
+    CompilationError,
+    InterpreterError,
+    JournalError,
+    LexError,
+    MemorySafetyError,
+    ParseError,
+    PermissionViolation,
+    ReproError,
+    ServiceError,
+    SimulationError,
+    TagViolation,
+    TrapError,
+    TypeCheckError,
+    UndefinedBehaviorError,
+)
+
+
+def _roundtrip(exc):
+    return pickle.loads(pickle.dumps(exc))
+
+
+def test_every_error_class_roundtrips_bare():
+    classes = [ReproError, MemorySafetyError, BoundsViolation, TagViolation,
+               PermissionViolation, AlignmentViolation, CompilationError,
+               LexError, ParseError, TypeCheckError, SimulationError,
+               TrapError, InterpreterError, UndefinedBehaviorError,
+               ServiceError, JournalError]
+    for cls in classes:
+        clone = _roundtrip(cls("boom"))
+        assert type(clone) is cls
+        assert str(clone) == "boom"
+
+
+def test_memory_safety_error_keeps_structured_trap_metadata():
+    exc = BoundsViolation("oob store", address=0x1234, cause="bounds")
+    clone = _roundtrip(exc)
+    assert clone.address == 0x1234
+    assert clone.cause == "bounds"
+    assert str(clone) == "oob store"
+    # subclass default causes survive too
+    assert _roundtrip(TagViolation("cleared tag")).cause == "tag"
+
+
+def test_unpicklable_capability_degrades_to_repr():
+    class Opaque:
+        """Stands in for interpreter-internal object graphs."""
+
+        def __reduce__(self):
+            raise TypeError("deliberately unpicklable")
+
+        def __repr__(self):
+            return "<opaque cap>"
+
+    exc = MemorySafetyError("trap", capability=Opaque(), cause="tag")
+    clone = _roundtrip(exc)
+    assert clone.capability == "<opaque cap>"
+    assert clone.cause == "tag"
+
+
+def test_compilation_error_location_is_not_double_appended():
+    exc = ParseError("unexpected token", line=3, column=7)
+    assert str(exc) == "unexpected token (line 3, col 7)"
+    clone = _roundtrip(exc)
+    # the default Exception reduce would re-run __init__ and yield
+    # "... (line 3, col 7) (line 3, col 7)"
+    assert str(clone) == "unexpected token (line 3, col 7)"
+    assert (clone.line, clone.column) == (3, 7)
+
+
+def test_trap_error_keeps_cause_and_pc():
+    clone = _roundtrip(TrapError("bad store", cause="bounds", pc=42))
+    assert clone.cause == "bounds"
+    assert clone.pc == 42
+
+
+def test_machine_produced_trap_roundtrips():
+    """An organic trap out of the interpreter (machine graph attached at
+    raise time) must pickle after the runner's traceback scrub."""
+    from repro.difftest import DifferentialRunner
+    from repro.difftest.oracle import trap_cause
+
+    runner = DifferentialRunner(models=("pdp11", "mpx"), analyze=False)
+    result = runner.run_source(
+        "int main(void) {\n"
+        "    int *h = (int *)malloc(16);\n"
+        "    free(h);\n"
+        "    mini_checkpoint(h[0]);\n"
+        "    return 0;\n"
+        "}\n"
+    )
+    trap = result.results["mpx"].trap
+    assert trap is not None
+    clone = _roundtrip(trap)
+    assert type(clone) is type(trap)
+    assert trap_cause(clone) == trap_cause(trap) == "uaf"
+    assert str(clone) == str(trap)
+
+
+def test_trap_roundtrips_inside_execution_result_containers():
+    exc = BoundsViolation("oob", address=8, cause="bounds")
+    payload = {"trap": exc, "nested": [exc]}
+    clone = pickle.loads(pickle.dumps(payload))
+    assert clone["trap"].address == 8
+    assert clone["nested"][0].cause == "bounds"
+
+
+@pytest.mark.parametrize("proto", range(2, pickle.HIGHEST_PROTOCOL + 1))
+def test_roundtrip_across_pickle_protocols(proto):
+    exc = PermissionViolation("ro store", address=16, cause="permission")
+    clone = pickle.loads(pickle.dumps(exc, protocol=proto))
+    assert clone.address == 16
+    assert clone.cause == "permission"

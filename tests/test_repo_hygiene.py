@@ -50,8 +50,21 @@ def test_no_bytecode_is_git_tracked():
 def test_gitignore_covers_caches():
     gitignore = (REPO_ROOT / ".gitignore").read_text()
     for pattern in ("__pycache__/", "*.pyc", ".pytest_cache/",
-                    ".hypothesis/", ".benchmarks/"):
+                    ".hypothesis/", ".benchmarks/",
+                    "difftest_journal*.jsonl", "*.journal.jsonl"):
         assert pattern in gitignore, f".gitignore lost the {pattern!r} entry"
+
+
+def test_no_sweep_journal_scratch_is_git_tracked():
+    """Write-ahead journals are per-run checkpoint state (one JSON line per
+    completed program); committing one would ship a multi-megabyte scratch
+    file and make ``--resume`` silently pick up a stale sweep."""
+    offenders = [path for path in _tracked_files()
+                 if path.endswith(".journal.jsonl")
+                 or pathlib.PurePosixPath(path).name.startswith("difftest_journal")]
+    assert not offenders, (
+        f"sweep journal scratch is committed (git rm --cached): {offenders[:10]}"
+    )
 
 
 # ---------------------------------------------------------------------------
