@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Merge per-host difftest shard journals into the sweep artifacts.
+
+Each host of a multi-host sweep runs::
+
+    PYTHONPATH=src python scripts/run_difftest.py --count 900 --host-shard 0/3
+    PYTHONPATH=src python scripts/run_difftest.py --count 900 --host-shard 1/3
+    PYTHONPATH=src python scripts/run_difftest.py --count 900 --host-shard 2/3
+
+and this script recombines the three journals::
+
+    PYTHONPATH=src python scripts/merge_journals.py \\
+        results/difftest_journal.shard*.jsonl --out-dir results
+
+The merged ``table5_differential_matrix.txt`` and ``difftest_corpus.json``
+are bit-identical to a single-host serial run of the same sweep.  The merge
+is corruption-aware and refuses (exit status 2, diagnostic on stderr) on a
+header mismatch, an index gap (an incomplete shard — finish it with
+``run_difftest --resume``), an overlap, or two journals that disagree on a
+cell record; a torn final line in an input journal is recovered in memory
+(the input file is never modified) and reported on stderr.  See
+``docs/difftest.md`` for the full runbook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.errors import ServiceError  # noqa: E402  (sys.path setup above)
+from repro.difftest import GENERATOR_VERSION  # noqa: E402
+from repro.difftest import output as sweep_output  # noqa: E402
+from repro.difftest.merge import merge_journals  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("journals", nargs="+",
+                        help="per-host shard journal files (all shards of one sweep)")
+    parser.add_argument("--out-dir", default=None,
+                        help="output directory (default: <repo>/results)")
+    parser.add_argument("--reduce", type=int, default=3, metavar="N",
+                        help="minimize the first N divergent programs into the "
+                             "JSON corpus (default 3; 0 disables)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    args = parser.parse_args(argv)
+    say = (lambda *a, **k: None) if args.quiet else print
+
+    try:
+        merged = merge_journals(args.journals)
+    except ServiceError as exc:
+        print(f"merge_journals: {exc}", file=sys.stderr)
+        return 2
+    for recovery in merged.recoveries:
+        torn = recovery["torn_index"]
+        print(f"merge_journals: recovered a torn tail in "
+              f"{recovery['journal']} (in memory only; the file was not "
+              f"modified): kept {recovery['valid_bytes']} bytes, dropped "
+              f"{recovery['dropped_bytes']}; torn record was program index "
+              f"{torn if torn is not None else 'unknown'}", file=sys.stderr)
+
+    header = merged.header
+    say(f"merged {len(merged.sources)} journal(s): {header['count']} "
+        f"programs (seed={header['seed']}, generator "
+        f"v{header['generator_version']})")
+    if args.reduce and header["generator_version"] != GENERATOR_VERSION:
+        # Reductions regenerate programs from (seed, index) with *this*
+        # build's generator; a version skew would replay different programs
+        # than the sweep classified.
+        print(f"merge_journals: cannot reduce: the journals were swept with "
+              f"generator v{header['generator_version']} but this build has "
+              f"v{GENERATOR_VERSION}; re-run with --reduce 0",
+              file=sys.stderr)
+        return 2
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else \
+        pathlib.Path(__file__).resolve().parent.parent / "results"
+    meta = sweep_output.sweep_meta(
+        seed=header["seed"], count=header["count"],
+        models=tuple(header["models"]), budget=header["budget"],
+        generator_version=header["generator_version"])
+    matrix_text, document = sweep_output.build_outputs(merged.records, meta=meta)
+    document["reductions"] = sweep_output.compute_reductions(
+        merged.records, seed=header["seed"], models=tuple(header["models"]),
+        budget=header["budget"], limit=args.reduce, say=say)
+    if not args.reduce:
+        del document["reductions"]
+    matrix_path, corpus_path = sweep_output.write_outputs(
+        out_dir, matrix_text, document)
+    say(f"wrote {matrix_path}")
+    say(f"wrote {corpus_path}")
+    say("")
+    say(matrix_text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,9 +13,17 @@ outcome against the PDP-11 baseline, and writes:
   reproducers for the first ``--reduce`` divergent programs.
 
 Both outputs are bit-deterministic for a given (seed, count, models,
-budget): worker count, injected faults, retries and ``--resume`` boundaries
-never change a byte.  Every sweep is journaled (one JSON line per completed
-program); an interrupted run continues with ``--resume``.
+budget): worker count, injected faults, retries, ``--resume`` boundaries,
+the persistent artifact cache (``--artifact-cache``, cold, warm or
+corrupted) and multi-host sharding never change a byte.  Every sweep is
+journaled (one JSON line per completed program); an interrupted run
+continues with ``--resume``.
+
+Multi-host: ``--host-shard i/N`` runs the deterministic interleaved slice
+``index % N == i`` into a per-host journal; ``--merge`` (or
+``scripts/merge_journals.py``) recombines the N journals into the same two
+artifacts a single-host run writes, refusing on any gap, overlap or
+conflict.  See ``docs/difftest.md``.
 
 Usage::
 
@@ -23,12 +31,14 @@ Usage::
     PYTHONPATH=src python scripts/run_difftest.py --count 200 --jobs 4
     PYTHONPATH=src python scripts/run_difftest.py --count 200 --jobs 4 --resume
     PYTHONPATH=src python scripts/run_difftest.py --count 40 --jobs 2 --inject all
+    PYTHONPATH=src python scripts/run_difftest.py --count 900 --host-shard 0/3
+    PYTHONPATH=src python scripts/run_difftest.py --merge shard*.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import pathlib
 import sys
 import time
@@ -38,19 +48,76 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.common.errors import ServiceError  # noqa: E402  (sys.path setup above)
 from repro.difftest import (  # noqa: E402
     GENERATOR_VERSION,
-    DifferentialRunner,
     SweepService,
-    corpus_document_from_records,
-    feature_breakdown_from_records,
-    format_matrix,
-    generate_program,
     parse_inject_spec,
-    reduce_program,
-    summarize_records,
 )
-from repro.difftest.oracle import BASELINE, is_divergent  # noqa: E402
+from repro.difftest import output as sweep_output  # noqa: E402
+from repro.difftest.merge import merge_journals  # noqa: E402
 from repro.difftest.runner import DEFAULT_BUDGET  # noqa: E402
 from repro.interp.models import PAPER_MODEL_ORDER  # noqa: E402
+
+
+def _parse_host_shard(text: str) -> tuple[int, int]:
+    shard, sep, nshards = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        return int(shard), int(nshards)
+    except ValueError:
+        raise ServiceError(f"--host-shard must look like i/N, got {text!r}") \
+            from None
+
+
+def _write_artifacts(records, out_dir, say, *, seed, count, models, budget,
+                     reduce_limit, generator_version=GENERATOR_VERSION) -> None:
+    meta = sweep_output.sweep_meta(seed=seed, count=count, models=models,
+                                   budget=budget,
+                                   generator_version=generator_version)
+    matrix_text, document = sweep_output.build_outputs(records, meta=meta)
+    document["reductions"] = sweep_output.compute_reductions(
+        records, seed=seed, models=models, budget=budget,
+        limit=reduce_limit, say=say)
+    if not reduce_limit:
+        del document["reductions"]
+    matrix_path, corpus_path = sweep_output.write_outputs(
+        out_dir, matrix_text, document)
+    say(f"wrote {matrix_path}")
+    say(f"wrote {corpus_path}")
+    say("")
+    say(matrix_text)
+
+
+def _run_merge(args, say) -> int:
+    merged = merge_journals(args.merge)
+    for recovery in merged.recoveries:
+        torn = recovery["torn_index"]
+        print(f"run_difftest: recovered a torn tail in "
+              f"{recovery['journal']} (in memory only; the file was not "
+              f"modified): kept {recovery['valid_bytes']} bytes, dropped "
+              f"{recovery['dropped_bytes']}; torn record was program index "
+              f"{torn if torn is not None else 'unknown'}", file=sys.stderr)
+    header = merged.header
+    say(f"merged {len(merged.sources)} journal(s): {header['count']} "
+        f"programs (seed={header['seed']}, generator "
+        f"v{header['generator_version']})")
+    reduce_limit = args.reduce
+    if reduce_limit and header["generator_version"] != GENERATOR_VERSION:
+        # Reductions regenerate programs from (seed, index) with *this*
+        # build's generator; a version skew would replay different programs
+        # than the sweep classified.
+        raise ServiceError(
+            f"cannot reduce: the journals were swept with generator "
+            f"v{header['generator_version']} but this build has "
+            f"v{GENERATOR_VERSION}; re-run with --reduce 0 to merge "
+            f"without reductions")
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else \
+        pathlib.Path(__file__).resolve().parent.parent / "results"
+    _write_artifacts(merged.records, out_dir, say,
+                     seed=header["seed"], count=header["count"],
+                     models=tuple(header["models"]), budget=header["budget"],
+                     reduce_limit=reduce_limit,
+                     generator_version=header["generator_version"])
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -79,38 +146,78 @@ def main(argv: list[str] | None = None) -> int:
                              "starting over")
     parser.add_argument("--inject", default=None, metavar="SPEC",
                         help="fault-injection spec: 'all' or a comma list of "
-                             "crash/hang/engine/journal[:index[:always]] "
+                             "crash/hang/engine/journal/cache-torn/"
+                             "cache-bitflip/cache-stale-lock[:index[:always]] "
                              "(exercises the supervisor's recovery paths)")
     parser.add_argument("--journal", default=None, metavar="PATH",
-                        help="journal file (default: <out-dir>/difftest_journal.jsonl)")
+                        help="journal file (default: <out-dir>/difftest_journal"
+                             "[.shardIofN].jsonl)")
+    parser.add_argument("--host-shard", default=None, metavar="I/N",
+                        help="run only the interleaved slice index %% N == I "
+                             "of the sweep into a per-host journal; merge the "
+                             "N journals afterwards with --merge")
+    parser.add_argument("--artifact-cache", default=None, metavar="DIR",
+                        help="persistent predecode-artifact cache directory "
+                             "(crash-safe, shared across runs and hosts; "
+                             "default: $REPRO_ARTIFACT_CACHE if set)")
+    parser.add_argument("--merge", nargs="+", default=None, metavar="JOURNAL",
+                        help="merge completed per-host shard journals into "
+                             "the sweep artifacts instead of running programs")
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)
 
-    models = tuple(name.strip() for name in args.models.split(",") if name.strip())
-    budget = args.budget if args.budget is not None else DEFAULT_BUDGET
-    out_dir = pathlib.Path(args.out_dir) if args.out_dir else \
-        pathlib.Path(__file__).resolve().parent.parent / "results"
-    out_dir.mkdir(parents=True, exist_ok=True)
-    journal_path = pathlib.Path(args.journal) if args.journal else \
-        out_dir / "difftest_journal.jsonl"
-
     say = (lambda *a, **k: None) if args.quiet else print
-    t0 = time.perf_counter()
-
-    def progress(done, total):
-        if not args.quiet and done % 100 == 0:
-            say(f"  swept {done}/{total} programs "
-                f"({time.perf_counter() - t0:.1f}s)")
 
     try:
+        if args.merge is not None:
+            for flag, name in ((args.resume, "--resume"),
+                               (args.inject, "--inject"),
+                               (args.host_shard, "--host-shard"),
+                               (args.journal, "--journal")):
+                if flag:
+                    raise ServiceError(f"--merge cannot be combined with {name}")
+            return _run_merge(args, say)
+
+        models = tuple(name.strip() for name in args.models.split(",")
+                       if name.strip())
+        budget = args.budget if args.budget is not None else DEFAULT_BUDGET
+        host_shard = (_parse_host_shard(args.host_shard)
+                      if args.host_shard else None)
+        artifact_cache = args.artifact_cache or \
+            os.environ.get("REPRO_ARTIFACT_CACHE") or None
+        out_dir = pathlib.Path(args.out_dir) if args.out_dir else \
+            pathlib.Path(__file__).resolve().parent.parent / "results"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        if args.journal:
+            journal_path = pathlib.Path(args.journal)
+        elif host_shard:
+            journal_path = out_dir / (f"difftest_journal.shard{host_shard[0]}"
+                                      f"of{host_shard[1]}.jsonl")
+        else:
+            journal_path = out_dir / "difftest_journal.jsonl"
+
+        t0 = time.perf_counter()
+
+        def progress(done, total):
+            if not args.quiet and done % 100 == 0:
+                say(f"  swept {done}/{total} programs "
+                    f"({time.perf_counter() - t0:.1f}s)")
+
         inject = parse_inject_spec(args.inject, args.count) if args.inject else None
         service = SweepService(
             seed=args.seed, count=args.count, models=models, budget=budget,
             jobs=args.jobs, timeout=args.timeout, retries=args.retries,
-            inject=inject, journal_path=str(journal_path), progress=progress,
+            inject=inject, journal_path=str(journal_path),
+            host_shard=host_shard, artifact_cache=artifact_cache,
+            progress=progress,
         )
-        say(f"sweeping {args.count} programs (seed={args.seed}, generator "
-            f"v{GENERATOR_VERSION}) across {args.jobs} worker(s)"
+        shard_size = len(service.shard_indices())
+        say(f"sweeping {shard_size} of {args.count} programs "
+            f"(seed={args.seed}, generator v{GENERATOR_VERSION}) across "
+            f"{args.jobs} worker(s)"
+            + (f", host shard {host_shard[0]}/{host_shard[1]}"
+               if host_shard else "")
+            + (f", artifact cache {artifact_cache}" if artifact_cache else "")
             + (", resuming" if args.resume else ""))
         outcome = service.run(resume=args.resume)
     except ServiceError as exc:
@@ -118,8 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     records, stats = outcome.records, outcome.stats
     sweep_seconds = time.perf_counter() - t0
-    runs = args.count * len(models)
-    say(f"swept {args.count} programs x {len(models)} models in "
+    runs = len(records) * len(models)
+    say(f"swept {len(records)} programs x {len(models)} models in "
         f"{sweep_seconds:.1f}s ({runs / max(sweep_seconds, 1e-9):.0f} "
         f"program-runs/s)")
     noteworthy = {key: value for key, value in stats.items()
@@ -128,64 +235,16 @@ def main(argv: list[str] | None = None) -> int:
         say("  service stats: " + ", ".join(f"{k}={v}"
                                             for k, v in sorted(noteworthy.items())))
 
-    meta = {
-        "seed": args.seed,
-        "count": args.count,
-        "models": list(models),
-        "budget": budget,
-        "generator_version": GENERATOR_VERSION,
-        "baseline": BASELINE,
-    }
-    matrix_text = format_matrix(summarize_records(records),
-                                feature_breakdown_from_records(records), meta=meta)
-    document = corpus_document_from_records(records, meta=meta)
+    if host_shard:
+        # A shard alone cannot produce the sweep artifacts (they summarize
+        # all indices); its deliverable is the completed journal.
+        say(f"shard journal complete: {journal_path}")
+        say(f"merge all {host_shard[1]} shard journals with: "
+            f"run_difftest.py --merge <journals...>")
+        return 0
 
-    if args.reduce:
-        # Reduction replays live in the supervisor: regenerate each divergent
-        # program from its index (records carry no sources by design).
-        reducer_runner = DifferentialRunner(models=models, budget=budget,
-                                            analyze=False)
-        reductions = []
-        for record in records:
-            if len(reductions) >= args.reduce:
-                break
-            classification = record["classification"]
-            if not is_divergent(classification):
-                continue
-            model = next(m for m in models
-                         if classification[m] not in ("agree", "agree-trap"))
-            category = classification[model]
-            if category in ("error:engine", "error:timeout"):
-                continue  # quarantined cells have nothing to replay
-            program = generate_program(args.seed, record["index"])
-            try:
-                reduction = reduce_program(program, model, category,
-                                           runner=reducer_runner)
-            except ValueError:
-                continue
-            say(f"  reduced program {program.index} "
-                f"({model}={category}): {reduction.original_statements} -> "
-                f"{reduction.reduced_statements} statements "
-                f"in {reduction.tests_run} runs")
-            reductions.append({
-                "index": program.index,
-                "model": model,
-                "category": category,
-                "statements_before": reduction.original_statements,
-                "statements_after": reduction.reduced_statements,
-                "source": reduction.source,
-            })
-        document["reductions"] = reductions
-
-    matrix_path = out_dir / "table5_differential_matrix.txt"
-    corpus_path = out_dir / "difftest_corpus.json"
-    matrix_path.write_text(matrix_text + "\n", encoding="utf-8")
-    corpus_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
-                           encoding="utf-8")
-    say(f"wrote {matrix_path}")
-    say(f"wrote {corpus_path}")
-    say("")
-    say(matrix_text)
+    _write_artifacts(records, out_dir, say, seed=args.seed, count=args.count,
+                     models=models, budget=budget, reduce_limit=args.reduce)
     return 0
 
 

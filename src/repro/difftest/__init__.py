@@ -21,7 +21,10 @@ cross-layer litmus sweeps:
 * :mod:`repro.difftest.service` shards the sweep across a fault-tolerant
   pool of worker subprocesses (timeouts, respawn, quarantine), journaled by
   :mod:`repro.difftest.journal` for ``--resume``, with deliberate failures
-  supplied by :mod:`repro.difftest.faultinject`.
+  supplied by :mod:`repro.difftest.faultinject`;
+* :mod:`repro.difftest.merge` recombines per-host ``--host-shard`` journals
+  into one verified record set, and :mod:`repro.difftest.output` renders
+  the sweep artifacts identically for the single-host and merged paths.
 
 ``scripts/run_difftest.py`` is the command-line entry point;
 ``tests/test_difftest.py`` pins a 64-program sweep as a regression oracle
@@ -37,6 +40,7 @@ from repro.difftest.generator import (
 )
 from repro.difftest.faultinject import Fault, FaultPlan, parse_inject_spec
 from repro.difftest.journal import JournalWriter, load_journal
+from repro.difftest.merge import MergedSweep, merge_journals
 from repro.difftest.oracle import (
     CATEGORIES,
     cell_record,
@@ -77,6 +81,8 @@ __all__ = [
     "parse_inject_spec",
     "JournalWriter",
     "load_journal",
+    "MergedSweep",
+    "merge_journals",
     "SweepOutcome",
     "SweepService",
 ]

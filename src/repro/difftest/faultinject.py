@@ -16,6 +16,12 @@ test can schedule deterministically:
 * ``journal`` — the supervisor appends a torn tail to the write-ahead
   journal and immediately runs the recovery cycle: exercises
   ``journal.load_journal``'s truncate-and-continue path.
+* ``cache-torn`` / ``cache-bitflip`` — the worker's persistent artifact
+  cache (:mod:`repro.interp.diskcache`) truncates / flips a bit in the
+  entry it just wrote, then immediately reloads it: exercises the
+  checksum-validation, quarantine and regenerate-on-corruption paths.
+* ``cache-stale-lock`` — a dead-PID lock file is planted on the entry
+  before the store: exercises the stale-lock takeover path.
 
 Faults default to *transient*: they fire on a program's first attempt only,
 so the retry produces the true record and the sweep's merged artifacts stay
@@ -38,7 +44,10 @@ from repro.common.errors import ServiceError
 CRASH_EXIT = 113
 
 #: recognised fault kinds, in the order ``--inject all`` schedules them.
-FAULT_KINDS = ("crash", "hang", "engine", "journal")
+#: The ``cache-*`` kinds target the persistent artifact cache and are
+#: no-ops when the sweep runs without ``--artifact-cache``.
+FAULT_KINDS = ("crash", "hang", "engine", "journal",
+               "cache-torn", "cache-bitflip", "cache-stale-lock")
 
 
 class InjectedEngineError(RuntimeError):
@@ -100,6 +109,20 @@ class FaultPlan:
 
         return hook
 
+    def cache_fault(self, index: int, attempt: int) -> str | None:
+        """The disk-cache fault kind due for program ``index``, or ``None``.
+
+        The worker arms it on the process's :class:`DiskCache` tier before
+        running the program; it fires at the next entry store.  Cache faults
+        are recover-in-place (the cache quarantines and re-stores inside the
+        same attempt), so ``always`` has no quarantine semantics here — the
+        fault simply fires on every attempt instead of the first.
+        """
+        for kind in ("cache-torn", "cache-bitflip", "cache-stale-lock"):
+            if self._active(kind, index, attempt):
+                return kind
+        return None
+
     # -- supervisor side -----------------------------------------------
 
     def journal_fault_index(self) -> int | None:
@@ -111,10 +134,10 @@ class FaultPlan:
 
 
 def _spread_indices(count: int) -> list[int]:
-    """Four well-separated corpus indices (the ``--inject all`` schedule)."""
-    indices = [count // 5, 2 * count // 5, 3 * count // 5, 4 * count // 5]
-    if len(set(indices)) < 4:
-        indices = [0, 1, 2, 3]
+    """Seven well-separated corpus indices (the ``--inject all`` schedule)."""
+    indices = [count * (k + 1) // 8 for k in range(len(FAULT_KINDS))]
+    if len(set(indices)) < len(FAULT_KINDS):
+        indices = list(range(len(FAULT_KINDS)))
     return indices
 
 
@@ -124,9 +147,9 @@ def parse_inject_spec(spec: str, count: int) -> FaultPlan:
     Grammar: ``all`` (one transient fault of every kind at spread indices),
     or a comma-separated list of ``kind[:index[:always]]`` items.  An
     omitted index falls back to the kind's slot in the spread schedule.
-    ``crash``/``hang``/``engine`` indices must be mutually distinct — two
-    faults racing for one program would make the retry outcome
-    schedule-dependent, which the bit-identity contract forbids.
+    Worker-side fault indices (everything but ``journal``) must be mutually
+    distinct — two faults racing for one program would make the retry
+    outcome schedule-dependent, which the bit-identity contract forbids.
     """
     items = [item.strip() for item in spec.split(",") if item.strip()]
     if not items:
@@ -134,11 +157,12 @@ def parse_inject_spec(spec: str, count: int) -> FaultPlan:
     if "all" in items:
         if items != ["all"]:
             raise ServiceError("--inject all cannot be combined with other faults")
-        if count < 4:
-            raise ServiceError(f"--inject all needs a corpus of >= 4 programs, got {count}")
+        if count < len(FAULT_KINDS):
+            raise ServiceError(f"--inject all needs a corpus of >= "
+                               f"{len(FAULT_KINDS)} programs, got {count}")
         return FaultPlan([Fault(kind, index)
                           for kind, index in zip(FAULT_KINDS, _spread_indices(count))])
-    defaults = dict(zip(FAULT_KINDS, _spread_indices(max(count, 4))))
+    defaults = dict(zip(FAULT_KINDS, _spread_indices(max(count, len(FAULT_KINDS)))))
     faults = []
     for item in items:
         kind, _, rest = item.partition(":")
@@ -157,7 +181,8 @@ def parse_inject_spec(spec: str, count: int) -> FaultPlan:
             raise ServiceError(f"fault index {index} is outside the corpus "
                                f"(0..{count - 1})")
         faults.append(Fault(kind, index, always=flag == "always"))
-    worker_side = [f for f in faults if f.kind in ("crash", "hang", "engine")]
+    worker_side = [f for f in faults if f.kind != "journal"]
     if len({f.index for f in worker_side}) < len(worker_side):
-        raise ServiceError("crash/hang/engine faults must target distinct programs")
+        raise ServiceError("worker-side faults (crash/hang/engine/cache-*) "
+                           "must target distinct programs")
     return FaultPlan(faults)

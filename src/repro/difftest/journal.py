@@ -48,8 +48,17 @@ def _dump_line(payload: dict) -> bytes:
 
 
 def make_header(*, seed: int, count: int, models, budget: int,
-                generator_version: int, analyze: bool) -> dict:
-    """The sweep-identity header written as the journal's first line."""
+                generator_version: int, analyze: bool,
+                host_shard: tuple[int, int] | None = None) -> dict:
+    """The sweep-identity header written as the journal's first line.
+
+    ``host_shard`` is ``(i, n)`` when this journal holds the deterministic
+    interleaved slice ``index % n == i`` of the program stream (one host of
+    a multi-host sweep; see ``scripts/merge_journals.py``), or None for a
+    whole-sweep journal.  ``count`` is always the *full* sweep size — the
+    shard never changes the sweep's identity, only which indices this
+    journal may contain.
+    """
     return {
         "kind": JOURNAL_KIND,
         "version": JOURNAL_VERSION,
@@ -59,6 +68,7 @@ def make_header(*, seed: int, count: int, models, budget: int,
         "budget": budget,
         "generator_version": generator_version,
         "analyze": analyze,
+        "host_shard": list(host_shard) if host_shard else None,
     }
 
 

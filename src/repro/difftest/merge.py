@@ -1,0 +1,220 @@
+"""Corruption-aware deterministic merge of per-host difftest journals.
+
+A multi-host sweep runs ``run_difftest --host-shard i/N`` on each of N
+hosts: every host journals its deterministic interleaved slice
+(``index % N == i``) of the same seeded program stream.  This module
+recombines those journals into one index-ordered record list whose derived
+artifacts are **bit-identical** to a single-host serial run of the whole
+sweep — or it refuses, loudly.
+
+Refusal, not repair, is the design stance.  The merged Table 5 is a claimed
+measurement; any hole papered over here (a missing shard filled with
+guesses, an overlap resolved by picking a journal arbitrarily, two journals
+disagreeing on one cell) would turn it into fiction.  Every such condition
+raises :class:`~repro.common.errors.MergeError` with a diagnostic naming
+the journals and indices involved, and the CLI exits non-zero.
+
+What *is* tolerated — because it is exactly the damage an append crash can
+produce and the journal format is designed to survive — is a torn final
+line in an input journal.  The torn tail is recovered in memory (the input
+file is never modified; it belongs to the host that wrote it) and reported
+via :attr:`MergedSweep.recoveries`; the index it would have carried is then
+simply missing, which the gap check reports with a ``--resume`` hint.
+
+Checks, in order:
+
+1. every input parses as a journal (kind/version checked by the journal
+   layer; torn tails recovered in memory and reported);
+2. all headers agree on the sweep identity (seed, count, models, budget,
+   generator version, analyze flag);
+3. no two inputs are the same shard / no shard declarations collide, and
+   every journal's records respect its own declared shard membership
+   (a record outside ``index % N == i`` means the journal is corrupt or
+   mislabeled);
+4. no index is claimed by two journals (identical duplicate records are an
+   *overlap*; differing ones are a *conflict* — distinct diagnostics, both
+   fatal);
+5. the union covers ``range(count)`` exactly (a gap names the missing
+   indices and the journal(s) whose shard they belong to).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.common.errors import MergeError
+from repro.difftest.journal import JournalState, load_journal
+
+#: header fields that define the sweep's identity for merging.  host_shard
+#: is deliberately absent — it is *expected* to differ per journal and is
+#: validated structurally (distinct, consistent N, membership) instead.
+IDENTITY_FIELDS = ("seed", "count", "models", "budget", "generator_version",
+                   "analyze")
+
+
+@dataclass
+class MergedSweep:
+    """A verified merge: full-sweep records plus recovery provenance."""
+
+    #: the canonical sweep-identity header (host_shard stripped).
+    header: dict
+    #: every cell record of the sweep, ordered by program index.
+    records: list = field(default_factory=list)
+    #: one entry per input journal whose torn tail was recovered in memory:
+    #: ``{"journal", "valid_bytes", "dropped_bytes", "torn_index"}``.
+    recoveries: list = field(default_factory=list)
+    #: input journal paths, in the order given.
+    sources: list = field(default_factory=list)
+
+
+def _identity(header: dict) -> dict:
+    return {name: header.get(name) for name in IDENTITY_FIELDS}
+
+
+def _guess_torn_index(tail: bytes) -> int | None:
+    """Best-effort read of the torn record's index, for the recovery report."""
+    match = re.search(rb'"index"\s*:\s*(-?\d+)', tail)
+    return int(match.group(1)) if match else None
+
+
+def _check_shard_membership(path: str, state: JournalState) -> None:
+    shard = state.header.get("host_shard")
+    count = state.header.get("count")
+    for index in state.records:
+        if not isinstance(index, int) or not 0 <= index < count:
+            raise MergeError(
+                f"{path} carries record index {index!r}, outside the sweep "
+                f"range 0..{count - 1}: the journal is corrupt")
+        if shard is not None:
+            i, n = shard
+            if index % n != i:
+                raise MergeError(
+                    f"{path} declares host shard {i}/{n} but carries record "
+                    f"index {index} (index % {n} == {index % n}): the journal "
+                    f"is corrupt or mislabeled; refusing to merge")
+
+
+def _owner_hint(index: int, states: dict[str, JournalState]) -> str:
+    """Which input journal's shard *should* have covered ``index``."""
+    for path, state in states.items():
+        shard = state.header.get("host_shard")
+        if shard is None or index % shard[1] == shard[0]:
+            return path
+    return "an input journal"
+
+
+def merge_journals(paths) -> MergedSweep:
+    """Merge per-host shard journals into one verified full-sweep record set.
+
+    Raises :class:`~repro.common.errors.MergeError` on any condition that
+    would make the merged artifacts differ from a single-host serial run;
+    raises :class:`~repro.common.errors.JournalError` if an input is not a
+    readable journal at all.  Input files are never modified.
+    """
+    paths = [str(p) for p in paths]
+    if not paths:
+        raise MergeError("no journals to merge")
+    if len(set(paths)) != len(paths):
+        raise MergeError("the same journal path was given more than once")
+
+    states: dict[str, JournalState] = {}
+    recoveries: list[dict] = []
+    for path in paths:
+        state = load_journal(path)
+        if state.corrupt_tail:
+            # Recovered in memory only: the file belongs to the host that
+            # wrote it, and --resume over there is the fix, not a merge-side
+            # rewrite.
+            recoveries.append({
+                "journal": path,
+                "valid_bytes": state.valid_bytes,
+                "dropped_bytes": len(state.corrupt_tail),
+                "torn_index": _guess_torn_index(state.corrupt_tail),
+            })
+        states[path] = state
+
+    # -- identity ------------------------------------------------------
+    first_path = paths[0]
+    identity = _identity(states[first_path].header)
+    for path in paths[1:]:
+        other = _identity(states[path].header)
+        if other != identity:
+            mismatched = "; ".join(
+                f"{name}: {identity[name]!r} vs {other[name]!r}"
+                for name in IDENTITY_FIELDS if identity[name] != other[name])
+            raise MergeError(
+                f"{path} belongs to a different sweep than {first_path} "
+                f"({mismatched}); refusing to merge")
+
+    count = identity["count"]
+    if not isinstance(count, int) or count < 0:
+        raise MergeError(f"{first_path} header carries an unusable count "
+                         f"{count!r}")
+
+    # -- shard declarations -------------------------------------------
+    declared = [(path, state.header.get("host_shard"))
+                for path, state in states.items()]
+    shard_ns = {tuple(shard)[1] for _, shard in declared if shard}
+    if len(shard_ns) > 1:
+        raise MergeError(
+            "input journals disagree on the shard count: "
+            + ", ".join(f"{path} declares "
+                        + (f"{shard[0]}/{shard[1]}" if shard else "whole-sweep")
+                        for path, shard in declared))
+    seen_shards: dict[tuple[int, int], str] = {}
+    for path, shard in declared:
+        if shard is None:
+            continue
+        shard = tuple(shard)
+        if shard in seen_shards:
+            raise MergeError(
+                f"{path} and {seen_shards[shard]} both declare host shard "
+                f"{shard[0]}/{shard[1]}: the same shard was journaled twice")
+        seen_shards[shard] = path
+    for path, state in states.items():
+        _check_shard_membership(path, state)
+
+    # -- overlap / conflict -------------------------------------------
+    merged: dict[int, dict] = {}
+    owner: dict[int, str] = {}
+    for path in paths:
+        for index, record in states[path].records.items():
+            if index in merged:
+                if json.dumps(record, sort_keys=True) != \
+                        json.dumps(merged[index], sort_keys=True):
+                    raise MergeError(
+                        f"conflict at program index {index}: {owner[index]} "
+                        f"and {path} carry different cell records for the "
+                        f"same program; the sweep inputs are not trustworthy")
+                raise MergeError(
+                    f"overlap at program index {index}: both {owner[index]} "
+                    f"and {path} claim it; shard journals must partition the "
+                    f"sweep")
+            merged[index] = record
+            owner[index] = path
+
+    # -- coverage ------------------------------------------------------
+    missing = [index for index in range(count) if index not in merged]
+    if missing:
+        hints = {}
+        for index in missing:
+            hints.setdefault(_owner_hint(index, states), []).append(index)
+        detail = "; ".join(
+            f"{path} is missing {indices[:8]}"
+            + (f" (+{len(indices) - 8} more)" if len(indices) > 8 else "")
+            for path, indices in hints.items())
+        raise MergeError(
+            f"the merged journals cover {len(merged)}/{count} programs "
+            f"({detail}); finish the incomplete shard(s) with "
+            f"run_difftest --resume before merging")
+
+    header = dict(states[first_path].header)
+    header["host_shard"] = None
+    return MergedSweep(
+        header=header,
+        records=[merged[index] for index in range(count)],
+        recoveries=recoveries,
+        sources=paths,
+    )

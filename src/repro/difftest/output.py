@@ -1,0 +1,119 @@
+"""Sweep-artifact construction shared by the single-host and merge paths.
+
+``scripts/run_difftest.py`` (one host, or one shard of a multi-host sweep)
+and ``scripts/merge_journals.py`` (recombining per-host shard journals) must
+emit byte-identical ``table5_differential_matrix.txt`` and
+``difftest_corpus.json`` for the same sweep — that bit-identity is the
+acceptance contract of the multi-host story, and it only holds if both
+entry points build the artifacts through literally the same code.  This
+module is that code: metadata, matrix text, corpus document, divergence
+reductions, and the final writes.
+
+Everything here consumes the journal's ``cell_record`` dicts, never live
+:class:`~repro.difftest.runner.ProgramResult` objects: records are what
+survive process boundaries, journal files and host boundaries, so they are
+the only currency the merged path can possibly share with the direct path.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.difftest.generator import generate_program
+from repro.difftest.oracle import (
+    BASELINE,
+    corpus_document_from_records,
+    feature_breakdown_from_records,
+    format_matrix,
+    is_divergent,
+    summarize_records,
+)
+from repro.difftest.reducer import reduce_program
+from repro.difftest.runner import DifferentialRunner
+
+#: artifact file names, shared so every entry point and test agrees on them.
+MATRIX_NAME = "table5_differential_matrix.txt"
+CORPUS_NAME = "difftest_corpus.json"
+
+
+def sweep_meta(*, seed: int, count: int, models, budget: int,
+               generator_version: int) -> dict:
+    """The sweep-identity metadata block embedded in both artifacts."""
+    return {
+        "seed": seed,
+        "count": count,
+        "models": list(models),
+        "budget": budget,
+        "generator_version": generator_version,
+        "baseline": BASELINE,
+    }
+
+
+def build_outputs(records, *, meta: dict) -> tuple[str, dict]:
+    """Render ``(matrix_text, corpus_document)`` from index-ordered records."""
+    matrix_text = format_matrix(summarize_records(records),
+                                feature_breakdown_from_records(records),
+                                meta=meta)
+    document = corpus_document_from_records(records, meta=meta)
+    return matrix_text, document
+
+
+def compute_reductions(records, *, seed: int, models, budget: int,
+                       limit: int, say=None) -> list[dict]:
+    """Delta-debug the first ``limit`` divergent records into minimal sources.
+
+    Reduction replays programs live (regenerated from ``(seed, index)`` —
+    records carry no sources by design), so it runs wherever the full record
+    set exists: the single-host supervisor, or the merge host.  Quarantined
+    cells (``error:engine``/``error:timeout``) have nothing to replay and
+    are skipped.
+    """
+    if not limit:
+        return []
+    models = tuple(models)
+    runner = DifferentialRunner(models=models, budget=budget, analyze=False)
+    reductions: list[dict] = []
+    for record in records:
+        if len(reductions) >= limit:
+            break
+        classification = record["classification"]
+        if not is_divergent(classification):
+            continue
+        model = next(m for m in models
+                     if classification[m] not in ("agree", "agree-trap"))
+        category = classification[model]
+        if category in ("error:engine", "error:timeout"):
+            continue
+        program = generate_program(seed, record["index"])
+        try:
+            reduction = reduce_program(program, model, category, runner=runner)
+        except ValueError:
+            continue
+        if say is not None:
+            say(f"  reduced program {program.index} "
+                f"({model}={category}): {reduction.original_statements} -> "
+                f"{reduction.reduced_statements} statements "
+                f"in {reduction.tests_run} runs")
+        reductions.append({
+            "index": program.index,
+            "model": model,
+            "category": category,
+            "statements_before": reduction.original_statements,
+            "statements_after": reduction.reduced_statements,
+            "source": reduction.source,
+        })
+    return reductions
+
+
+def write_outputs(out_dir, matrix_text: str, document: dict
+                  ) -> tuple[pathlib.Path, pathlib.Path]:
+    """Write both artifacts with the canonical serialization settings."""
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    matrix_path = out_dir / MATRIX_NAME
+    corpus_path = out_dir / CORPUS_NAME
+    matrix_path.write_text(matrix_text + "\n", encoding="utf-8")
+    corpus_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                           encoding="utf-8")
+    return matrix_path, corpus_path

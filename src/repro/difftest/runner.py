@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.detector import AnalysisResult, analyze_module
 from repro.common.errors import CompilationError
+from repro.interp import diskcache
 from repro.interp.machine import AbstractMachine, ExecutionResult
 from repro.interp.models import PAPER_MODEL_ORDER, get_model
 from repro.minic.irgen import compile_unit
@@ -132,6 +133,11 @@ class DifferentialRunner:
                     # its results.
                     result.trap.__traceback__ = None
                 out.results[name] = result
+        if diskcache.enabled():
+            # Persist this program's artifacts now that every model has
+            # bound them (all policy combinations are memoized); a killed
+            # worker loses at most the in-flight program's entries.
+            diskcache.flush()
         return out
 
     def run_program(self, program, *, models: tuple[str, ...] | None = None) -> ProgramResult:

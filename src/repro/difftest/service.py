@@ -39,11 +39,14 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
+import re
+import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.common.errors import ServiceError
+from repro.interp import diskcache
 from repro.difftest.faultinject import FaultPlan
 from repro.difftest.generator import GENERATOR_VERSION, generate_program
 from repro.difftest.journal import (
@@ -58,8 +61,11 @@ from repro.interp.models import PAPER_MODEL_ORDER
 
 #: sweep-identity header fields that must match for ``--resume`` (the rest of
 #: the header — kind/version — is checked by the journal layer itself).
+#: ``host_shard`` is part of the identity: resuming shard 1/3's journal as
+#: shard 2/3 (or as a whole-sweep run) would silently skip or duplicate
+#: indices.
 _IDENTITY_FIELDS = ("seed", "count", "models", "budget", "generator_version",
-                    "analyze")
+                    "analyze", "host_shard")
 
 
 @dataclass
@@ -71,7 +77,7 @@ class SweepOutcome:
 
 
 def _worker_main(worker_id: int, corpus_seed: int, model_names, budget: int,
-                 analyze: bool, plan, task_q, result_q) -> None:
+                 analyze: bool, plan, cache_dir, task_q, result_q) -> None:
     """Worker loop: regenerate, run, classify, condense — one task at a time.
 
     Runs in a subprocess.  Tasks are ``("run", index, attempt)`` tuples;
@@ -79,6 +85,12 @@ def _worker_main(worker_id: int, corpus_seed: int, model_names, budget: int,
     ``("ok", index, record, engine_fallbacks)``; an in-worker failure
     answers ``("error", index, detail)`` and keeps the worker alive.
     """
+    if cache_dir:
+        # Persistent artifact tier, shared with sibling workers and future
+        # runs through per-key lock files (repro.interp.diskcache).  Under
+        # the fork start method the parent may already have configured it;
+        # reconfiguring resets only this process's pending list.
+        diskcache.configure(cache_dir)
     runner = DifferentialRunner(models=tuple(model_names), budget=budget,
                                 analyze=analyze)
     # Same GC discipline as DifferentialRunner.sweep: the per-program machine
@@ -94,6 +106,9 @@ def _worker_main(worker_id: int, corpus_seed: int, model_names, budget: int,
             if plan is not None:
                 plan.fire_worker_fault(index, attempt)
                 runner.machine_hook = plan.machine_hook(index, attempt)
+                cache_fault = plan.cache_fault(index, attempt)
+                if cache_fault is not None and diskcache.enabled():
+                    diskcache.tier().arm_fault(cache_fault)
             program = generate_program(corpus_seed, index)
             program_result = runner.run_program(program)
             classification = classify_results(program_result)
@@ -118,6 +133,8 @@ class SweepService:
                  budget: int = DEFAULT_BUDGET, analyze: bool = True,
                  jobs: int = 1, timeout: float = 30.0, retries: int = 2,
                  inject: FaultPlan | None = None, journal_path: str,
+                 host_shard: tuple[int, int] | None = None,
+                 artifact_cache: str | None = None,
                  progress=None) -> None:
         self.seed = seed
         self.count = count
@@ -133,6 +150,12 @@ class SweepService:
             raise ServiceError(f"--timeout must be positive, got {timeout}")
         if retries < 0:
             raise ServiceError(f"--retries must be >= 0, got {retries}")
+        if host_shard is not None:
+            shard, nshards = host_shard
+            if nshards < 1 or not 0 <= shard < nshards:
+                raise ServiceError(
+                    f"--host-shard must be i/N with 0 <= i < N, got "
+                    f"{shard}/{nshards}")
         self.budget = budget
         self.analyze = analyze
         self.jobs = jobs
@@ -140,15 +163,25 @@ class SweepService:
         self.retries = retries
         self.inject = inject if inject else None
         self.journal_path = journal_path
+        self.host_shard = tuple(host_shard) if host_shard else None
+        self.artifact_cache = artifact_cache
         self.progress = progress
 
     # ------------------------------------------------------------------
+
+    def shard_indices(self) -> list[int]:
+        """The program indices this host runs: the full stream, or the
+        deterministic interleaved slice ``index % n == i`` of it."""
+        if self.host_shard is None:
+            return list(range(self.count))
+        shard, nshards = self.host_shard
+        return list(range(shard, self.count, nshards))
 
     def _header(self) -> dict:
         return make_header(seed=self.seed, count=self.count,
                            models=self.model_names, budget=self.budget,
                            generator_version=GENERATOR_VERSION,
-                           analyze=self.analyze)
+                           analyze=self.analyze, host_shard=self.host_shard)
 
     def _check_resume_header(self, found: dict, expected: dict) -> None:
         mismatched = [f"{name}: journal has {found.get(name)!r}, "
@@ -183,7 +216,7 @@ class SweepService:
         proc = ctx.Process(target=_worker_main,
                            args=(worker_id, self.seed, self.model_names,
                                  self.budget, self.analyze, self.inject,
-                                 task_q, result_q),
+                                 self.artifact_cache, task_q, result_q),
                            daemon=True, name=f"difftest-worker-{worker_id}")
         proc.start()
         return {"proc": proc, "task_q": task_q, "result_q": result_q,
@@ -204,6 +237,9 @@ class SweepService:
     def run(self, *, resume: bool = False) -> SweepOutcome:
         """Execute (or finish) the sweep; records come back in index order."""
         header = self._header()
+        shard = self.shard_indices()
+        shard_set = set(shard)
+        target = len(shard)
         stats = {"completed": 0, "resumed": 0, "retries": 0, "quarantined": 0,
                  "respawns": 0, "timeouts": 0, "worker_errors": 0,
                  "engine_fallbacks": 0, "journal_recoveries": 0}
@@ -214,16 +250,19 @@ class SweepService:
             state = load_journal(self.journal_path)
             self._check_resume_header(state.header, header)
             if state.corrupt_tail:
+                # Crash recovery, not a clean resume: say so, with enough
+                # detail for an operator to audit the journal afterwards.
                 truncate_to(self.journal_path, state.valid_bytes)
                 stats["journal_recoveries"] += 1
+                self._report_torn_tail(state)
             completed = {index: record for index, record in state.records.items()
-                         if 0 <= index < self.count}
+                         if index in shard_set}
             stats["resumed"] = len(completed)
             writer = JournalWriter.append_to(self.journal_path)
         else:
             writer = JournalWriter.create(self.journal_path, header)
 
-        pending = deque(index for index in range(self.count)
+        pending = deque(index for index in shard
                         if index not in completed)
         attempts: dict[int, int] = {}
         journal_fault = self.inject.journal_fault_index() if self.inject else None
@@ -254,7 +293,7 @@ class SweepService:
                 writer = JournalWriter.append_to(self.journal_path)
                 stats["journal_recoveries"] += 1
             if self.progress is not None:
-                self.progress(len(completed), self.count)
+                self.progress(len(completed), target)
 
         def record_failure(index: int, cause: str, detail: str) -> None:
             attempts[index] = attempts.get(index, 0) + 1
@@ -290,7 +329,7 @@ class SweepService:
             if pending:
                 for worker_id in range(min(self.jobs, len(pending))):
                     workers[worker_id] = self._spawn_worker(ctx, worker_id)
-            while len(completed) < self.count:
+            while len(completed) < target:
                 progressed = False
                 for worker_id, worker in list(workers.items()):
                     while drain(worker):
@@ -330,7 +369,7 @@ class SweepService:
                 if not progressed:
                     if not pending and all(w["current"] is None
                                            for w in workers.values()):
-                        missing = sorted(set(range(self.count)) - set(completed))
+                        missing = sorted(shard_set - set(completed))
                         raise ServiceError(
                             f"sweep stalled with no work in flight; missing "
                             f"indices {missing[:8]}")
@@ -349,9 +388,20 @@ class SweepService:
             writer.close()
 
         return SweepOutcome(
-            records=[completed[index] for index in range(self.count)],
+            records=[completed[index] for index in shard],
             stats=stats,
         )
+
+    def _report_torn_tail(self, state) -> None:
+        """Distinguish a crash recovery from a clean resume, on stderr."""
+        match = re.search(rb'"index"\s*:\s*(-?\d+)', state.corrupt_tail)
+        torn_index = match.group(1).decode("ascii") if match else "unknown"
+        sys.stderr.write(
+            f"run_difftest: --resume recovered a torn tail in journal "
+            f"{self.journal_path}: truncated to byte offset "
+            f"{state.valid_bytes}, dropping {len(state.corrupt_tail)} "
+            f"corrupt trailing byte(s); program index {torn_index} "
+            f"will be re-run\n")
 
     def _respawn(self, ctx, worker_id: int, dead_worker: dict, stats: dict) -> dict:
         respawns = dead_worker["respawns"] + 1

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.interp import diskcache
 from repro.interp.hotgen import block_code, block_source
 from repro.interp.values import (
     INTERN_MAX,
@@ -713,7 +714,8 @@ class PredecodeArtifact:
 
     __slots__ = ("function", "ctx", "instrs", "ninstrs", "mutations",
                  "labels", "use_counts", "nregs", "nallocas", "scratch",
-                 "_slot_types", "_fusions", "_plans", "_arg_raws")
+                 "_slot_types", "_fusions", "_plans", "_arg_raws",
+                 "fingerprint", "disk_snapshot")
 
     def __init__(self, function: Function, ctx) -> None:
         self.function = function
@@ -749,6 +751,11 @@ class PredecodeArtifact:
         self._fusions: dict[tuple, dict] = {}
         self._plans: dict[tuple, list[BlockPlan]] = {}
         self._arg_raws: dict[bool, list[tuple]] = {}
+        #: persistent-tier state (repro.interp.diskcache): the IR content
+        #: hash this artifact is filed under, and the memo-count snapshot at
+        #: the last load/store (None means never persisted — dirty).
+        self.fingerprint: str | None = None
+        self.disk_snapshot: tuple | None = None
 
     def slot_types(self, fast_noprov: bool) -> dict[int, tuple[int, bool]]:
         """The slot-type fixpoint, memoized per provenance-hook policy."""
@@ -842,6 +849,10 @@ class ArtifactCache:
             return artifact
         self.misses += 1
         artifact = PredecodeArtifact(function, ctx)
+        # Persistent tier (no-op unless diskcache.configure() enabled it):
+        # prefill the memo dicts from a validated on-disk entry keyed by IR
+        # content hash, and register the artifact for the next flush.
+        diskcache.attach(artifact)
         self.entries[key] = artifact
         self.entries.move_to_end(key)
         while len(self.entries) > self.maxsize:

@@ -1,0 +1,686 @@
+"""Crash-consistent persistent tier for the predecode artifact cache.
+
+The process-level LRU in :mod:`repro.interp.artifact` dies with the process:
+every fresh ``run_difftest`` invocation — and every sweep worker that was not
+``fork``-ed from an already-warm parent — re-derives the slot-type fixpoint,
+the fusion maps and (worst of all) re-``compile()``-s every shared
+superinstruction from generated source.  This module adds an on-disk tier
+that survives the process and is shared between concurrent workers and
+successive CLI runs, designed corruption-first: a cache that can silently
+serve a torn or stale entry would corrupt the bit-deterministic Table-5
+artifacts the whole difftest pipeline is built to protect.
+
+Key derivation
+--------------
+Entries are keyed by :func:`fingerprint` — a SHA-256 over
+
+* the **analysis version** (:func:`analysis_version`): a hash of the source
+  text of the four modules whose logic determines artifact content
+  (``artifact.py``, ``predecode.py``, ``hotgen.py``, ``values.py``), so any
+  change to the analysis or code generators invalidates every old entry
+  automatically;
+* the **pointer layout** (``ctx.pointer_bytes``, ``ctx.pointer_align``);
+* the **IR content**: function name plus a canonical rendering of every
+  instruction (opcode, destination, operands with their scalar types,
+  result type, attributes).  Identical IR hashes identically no matter which
+  process, module object or generation pass produced it.
+
+Entries additionally live under a per-interpreter directory
+(``sys.implementation.cache_tag``) because the payload is ``marshal`` data,
+which is not portable across Python versions.
+
+Entry format and validation
+---------------------------
+One entry file (``<root>/<tag>/<hh>/<fingerprint>.art``)::
+
+    header line: JSON {kind, version, analysis, key, python, payload_bytes}
+    payload:     marshal bytes (the artifact's memoized analysis results)
+    trailer:     32-byte SHA-256 over header line + payload
+
+Every load re-validates all of it: the JSON header must parse and match the
+expected kind/schema/analysis-version/interpreter/key, the payload length
+must match the header, and the trailer digest must match the bytes.  Any
+entry failing any check — torn, truncated, bit-flipped, produced by a stale
+schema — is **quarantined** (moved into ``<root>/quarantine/`` with a reason
+suffix, preserving the evidence) and reported as a miss, so the artifact is
+transparently regenerated and re-stored; a corrupt cache can cost time but
+never correctness.
+
+Crash consistency and concurrency
+---------------------------------
+Stores write a temporary file in the entry's directory, ``fsync`` it, and
+``os.replace`` it into place (then ``fsync`` the directory), so a reader can
+only ever observe the old entry, the new entry, or no entry — never a torn
+one.  Concurrent writers of the *same* key coordinate through a per-key
+``<entry>.lock`` file (``pid:host``, created ``O_CREAT|O_EXCL``): a writer
+that finds a live same-host holder skips the store (the holder is writing
+identical deterministic bytes); a lock whose PID is dead — a SIGKILLed
+worker — is **taken over** (the stale lock and any dead writer's temp files
+are removed) so a killed worker can never wedge the cache.
+
+Fault injection
+---------------
+:meth:`DiskCache.arm_fault` schedules one deliberate fault for the next
+store — ``cache-torn`` / ``cache-bitflip`` corrupt the just-written entry
+and immediately drive the quarantine-and-regenerate cycle; the
+``cache-stale-lock`` fault plants a dead-PID lock that the store must take
+over.  ``difftest/faultinject.py`` wires these to ``run_difftest --inject``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import marshal
+import os
+import socket
+import sys
+
+from repro.minic.ir import Const, GlobalRef, Temp
+from repro.minic.typesys import IntType
+
+#: bump when the entry container format (header/trailer layout) changes.
+SCHEMA_VERSION = 1
+ENTRY_KIND = "repro-artifact-cache"
+ENTRY_SUFFIX = ".art"
+LOCK_SUFFIX = ".lock"
+QUARANTINE_DIRNAME = "quarantine"
+
+#: the cache-fault kinds :meth:`DiskCache.arm_fault` accepts (mirrored by
+#: ``difftest.faultinject.FAULT_KINDS``).
+CACHE_FAULTS = ("cache-torn", "cache-bitflip", "cache-stale-lock")
+
+#: modules whose source text determines what an artifact contains; hashing
+#: them is the "generator/analysis version" part of the cache key, so any
+#: edit to the analysis or the block compilers orphans every old entry.
+_ANALYSIS_SOURCES = ("artifact.py", "diskcache.py", "hotgen.py",
+                     "predecode.py", "values.py")
+
+_analysis_version: str | None = None
+
+
+def analysis_version() -> str:
+    """Hash of the analysis/codegen sources (cached per process)."""
+    global _analysis_version
+    if _analysis_version is None:
+        digest = hashlib.sha256()
+        digest.update(f"schema:{SCHEMA_VERSION}".encode("ascii"))
+        here = os.path.dirname(os.path.abspath(__file__))
+        for name in _ANALYSIS_SOURCES:
+            try:
+                with open(os.path.join(here, name), "rb") as handle:
+                    digest.update(name.encode("ascii"))
+                    digest.update(handle.read())
+            except OSError:
+                # Source not readable (zipapp, stripped install): fall back
+                # to the schema constant alone; still versioned, just
+                # coarser.
+                digest.update(f"absent:{name}".encode("ascii"))
+        _analysis_version = digest.hexdigest()[:16]
+    return _analysis_version
+
+
+# ---------------------------------------------------------------------------
+# IR content fingerprint
+# ---------------------------------------------------------------------------
+
+
+def _render_type(ctype) -> str:
+    if ctype is None:
+        return "-"
+    if isinstance(ctype, IntType):
+        # The scalar facts the slot analysis actually consumes, spelled out
+        # (two types with equal str() but different signedness must differ).
+        return (f"i{ctype.bytes}{'s' if ctype.signed else 'u'}"
+                f"{'p' if ctype.is_pointer_sized else ''}")
+    return str(ctype)
+
+
+def _render_operand(operand) -> str:
+    kind = type(operand)
+    if kind is Temp:
+        return f"%{operand.index}"
+    if kind is Const:
+        return f"c{operand.value}:{_render_type(operand.ctype)}"
+    if kind is GlobalRef:
+        return f"@{operand.name}"
+    return repr(operand)  # unknown operand kind: never silently collide
+
+
+def _render_attr(value) -> str:
+    if isinstance(value, (int, str, bool)) or value is None:
+        return repr(value)
+    return str(value)  # CTypes and friends render via their stable __str__
+
+
+def _render_instr(instr) -> str:
+    attrs = ",".join(f"{key}={_render_attr(value)}"
+                     for key, value in sorted(instr.attrs.items()))
+    dest = instr.dest.index if instr.dest is not None else "-"
+    args = ",".join(_render_operand(arg) for arg in instr.args)
+    return (f"{instr.op.name}|{dest}|{args}|{_render_type(instr.ctype)}"
+            f"|{attrs}\n")
+
+
+def fingerprint(function, ctx) -> str:
+    """Content hash of (analysis version, pointer layout, IR stream)."""
+    digest = hashlib.sha256()
+    digest.update(f"{analysis_version()}|{ctx.pointer_bytes}|"
+                  f"{ctx.pointer_align}|{function.name}|"
+                  f"{len(function.instrs)}\n".encode("utf-8"))
+    for instr in function.instrs:
+        digest.update(_render_instr(instr).encode("utf-8"))
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Artifact payload (de)serialization
+# ---------------------------------------------------------------------------
+
+
+class UnserializableArtifact(Exception):
+    """Internal: the artifact holds a binding constant this module cannot
+    encode symbolically; the store is skipped (fail-safe, never fail-wrong)."""
+
+
+def _encode_const(value):
+    """Symbolic form of one BlockPlan binding constant.
+
+    Plans bind three kinds of model-independent constants: charge-sequence
+    tuples (plain ints — stored verbatim), the shared intern tables
+    (identified *by identity* against ``values._intern_tables`` and stored
+    as ``(width, signed)``), and the canonical TRUE/FALSE comparison
+    results.  Anything else is unknown territory and aborts the store.
+    """
+    from repro.interp.values import FALSE_I32, TRUE_I32, _intern_tables
+
+    if value is TRUE_I32:
+        return ("true",)
+    if value is FALSE_I32:
+        return ("false",)
+    if isinstance(value, tuple):
+        if all(type(item) is int for item in value):
+            return ("seq", value)
+        for (width, signed), table in _intern_tables.items():
+            if value is table:
+                return ("intern", width, signed)
+    raise UnserializableArtifact(f"unencodable block constant {type(value)!r}")
+
+
+def _decode_const(tag):
+    from repro.interp.values import FALSE_I32, TRUE_I32, intern_table
+
+    kind = tag[0]
+    if kind == "true":
+        return TRUE_I32
+    if kind == "false":
+        return FALSE_I32
+    if kind == "seq":
+        return tuple(tag[1])
+    if kind == "intern":
+        return intern_table(tag[1], tag[2])
+    raise ValueError(f"unknown encoded block constant {tag!r}")
+
+
+def dump_artifact_payload(artifact) -> bytes:
+    """Marshal an artifact's memoized analysis results.
+
+    Everything stored is a deterministic pure function of the fingerprinted
+    IR: the slot-type fixpoints, raw-operand descriptors and fusion maps per
+    policy combination, and every shared block plan — segmentation, compiled
+    code object (``marshal`` handles code natively) and symbolically encoded
+    binding constants.  Raises :class:`UnserializableArtifact` when a plan
+    binds something this module cannot encode.
+    """
+    plans = {}
+    for key, plan_list in artifact._plans.items():
+        plans[key] = [
+            (plan.start, plan.entries, plan.n_ir, plan.code,
+             {name: _encode_const(value) for name, value in plan.consts.items()},
+             plan.handler_indices)
+            for plan in plan_list
+        ]
+    payload = {
+        "name": artifact.function.name,
+        "ninstrs": artifact.ninstrs,
+        "slot_types": dict(artifact._slot_types),
+        "arg_raws": dict(artifact._arg_raws),
+        "fusions": dict(artifact._fusions),
+        "plans": plans,
+    }
+    try:
+        return marshal.dumps(payload, 4)
+    except ValueError as exc:  # unmarshalable object smuggled in
+        raise UnserializableArtifact(str(exc)) from None
+
+
+def load_artifact_payload(artifact, data: bytes) -> bool:
+    """Prefill a fresh artifact's memo dicts from marshaled ``data``.
+
+    Returns False (leaving the artifact untouched) when the payload does not
+    describe this function — a hash collision or cross-key confusion would
+    otherwise poison observables, so the check is structural, not trusted.
+    """
+    from repro.interp.artifact import BlockPlan
+
+    payload = marshal.loads(data)
+    if (payload.get("name") != artifact.function.name
+            or payload.get("ninstrs") != artifact.ninstrs):
+        return False
+    plans = {}
+    for key, plan_list in payload["plans"].items():
+        plans[key] = [
+            BlockPlan(start, entries, n_ir, code,
+                      {name: _decode_const(tag) for name, tag in consts.items()},
+                      tuple(handler_indices))
+            for start, entries, n_ir, code, consts, handler_indices in plan_list
+        ]
+    artifact._slot_types = payload["slot_types"]
+    artifact._arg_raws = payload["arg_raws"]
+    artifact._fusions = payload["fusions"]
+    artifact._plans = plans
+    return True
+
+
+def _memo_snapshot(artifact) -> tuple[int, int, int, int]:
+    """How many memo results the artifact holds (dirty-tracking)."""
+    return (len(artifact._slot_types), len(artifact._arg_raws),
+            len(artifact._fusions), len(artifact._plans))
+
+
+# ---------------------------------------------------------------------------
+# The on-disk cache
+# ---------------------------------------------------------------------------
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OverflowError, OSError):
+        return True  # exists (other user) or unknowable: treat as live
+    return True
+
+
+def _dead_pid() -> int:
+    """A PID guaranteed (or overwhelmingly likely) to be dead.
+
+    Forks a child that exits immediately and reaps it — an honest dead PID.
+    Falls back to one past the default Linux ``pid_max`` when fork is
+    unavailable (``os.kill`` then reports ESRCH).
+    """
+    try:
+        pid = os.fork()
+    except OSError:
+        return 4_194_305
+    if pid == 0:  # pragma: no cover - child exits immediately
+        os._exit(0)
+    os.waitpid(pid, 0)
+    return pid
+
+
+class DiskCache:
+    """Checksummed, lock-coordinated, quarantine-on-corruption entry store."""
+
+    def __init__(self, root: str, *, fsync: bool = True) -> None:
+        self.root = os.path.abspath(root)
+        self.fsync = fsync
+        #: interpreter-specific namespace: marshal payloads are not portable
+        #: across Python versions, so each shares a directory only with
+        #: itself.
+        self.tag_dir = os.path.join(self.root, sys.implementation.cache_tag)
+        self.quarantine_dir = os.path.join(self.root, QUARANTINE_DIRNAME)
+        self.stats = {"hits": 0, "misses": 0, "stores": 0, "store_skips": 0,
+                      "quarantined": 0, "lock_takeovers": 0, "lock_busy": 0,
+                      "store_errors": 0, "faults_injected": 0}
+        #: one-shot injected fault (see :data:`CACHE_FAULTS`), consumed by
+        #: the next store.
+        self.armed_fault: str | None = None
+        os.makedirs(self.tag_dir, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------
+
+    def entry_path(self, key: str) -> str:
+        return os.path.join(self.tag_dir, key[:2], key + ENTRY_SUFFIX)
+
+    def _lock_path(self, key: str) -> str:
+        return self.entry_path(key) + LOCK_SUFFIX
+
+    # -- fault injection ------------------------------------------------
+
+    def arm_fault(self, kind: str) -> None:
+        if kind not in CACHE_FAULTS:
+            raise ValueError(f"unknown cache fault {kind!r}; known: {CACHE_FAULTS}")
+        self.armed_fault = kind
+
+    # -- quarantine -----------------------------------------------------
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a failed entry aside (evidence preserved), count, report."""
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        base = os.path.basename(path)
+        for attempt in range(1000):
+            suffix = f".{reason}" if attempt == 0 else f".{reason}.{attempt}"
+            target = os.path.join(self.quarantine_dir, base + suffix)
+            if os.path.exists(target):
+                continue
+            try:
+                os.replace(path, target)
+            except FileNotFoundError:
+                return  # another process already quarantined/replaced it
+            self.stats["quarantined"] += 1
+            sys.stderr.write(
+                f"repro-diskcache: quarantined {base} ({reason}) -> "
+                f"{os.path.relpath(target, self.root)}; entry will be "
+                f"regenerated\n")
+            return
+
+    # -- load -----------------------------------------------------------
+
+    def load(self, key: str):
+        """The decoded payload for ``key``, or None (miss / quarantined)."""
+        path = self.entry_path(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except OSError:
+            self.stats["misses"] += 1
+            return None
+        newline = data.find(b"\n")
+        if newline < 0:
+            self._quarantine(path, "truncated-header")
+            self.stats["misses"] += 1
+            return None
+        header_line = data[:newline + 1]
+        try:
+            header = json.loads(header_line)
+            if not isinstance(header, dict):
+                raise ValueError("header is not an object")
+        except ValueError:
+            self._quarantine(path, "corrupt-header")
+            self.stats["misses"] += 1
+            return None
+        if (header.get("kind") != ENTRY_KIND
+                or header.get("version") != SCHEMA_VERSION
+                or header.get("python") != sys.implementation.cache_tag):
+            self._quarantine(path, "foreign-entry")
+            self.stats["misses"] += 1
+            return None
+        if header.get("analysis") != analysis_version():
+            # Stale schema: written by an older (or newer) build of the
+            # analysis.  Never trusted — trapped here even if a path
+            # collision ever let one through the key derivation.
+            self._quarantine(path, "version-mismatch")
+            self.stats["misses"] += 1
+            return None
+        if header.get("key") != key:
+            self._quarantine(path, "key-mismatch")
+            self.stats["misses"] += 1
+            return None
+        payload_bytes = header.get("payload_bytes")
+        body = data[newline + 1:]
+        if not isinstance(payload_bytes, int) or len(body) != payload_bytes + 32:
+            self._quarantine(path, "truncated")
+            self.stats["misses"] += 1
+            return None
+        payload, trailer = body[:payload_bytes], body[payload_bytes:]
+        digest = hashlib.sha256(header_line + payload).digest()
+        if digest != trailer:
+            self._quarantine(path, "checksum")
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        return payload
+
+    # -- store ----------------------------------------------------------
+
+    def _acquire_lock(self, key: str) -> bool:
+        lock = self._lock_path(key)
+        os.makedirs(os.path.dirname(lock), exist_ok=True)
+        token = f"{os.getpid()}:{socket.gethostname()}".encode("utf-8")
+        for _ in range(3):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                if self._lock_is_stale(lock):
+                    # Dead-PID takeover: the holder was SIGKILLed mid-store.
+                    try:
+                        os.unlink(lock)
+                    except FileNotFoundError:
+                        pass
+                    self.stats["lock_takeovers"] += 1
+                    self._sweep_dead_tmp_files(key)
+                    continue
+                self.stats["lock_busy"] += 1
+                return False
+            except OSError:
+                return False
+            try:
+                os.write(fd, token)
+            finally:
+                os.close(fd)
+            return True
+        return False
+
+    def _lock_is_stale(self, lock: str) -> bool:
+        try:
+            with open(lock, "rb") as handle:
+                content = handle.read(256)
+        except OSError:
+            return False  # vanished or unreadable: let the holder win
+        pid_text, _, host = content.decode("utf-8", "replace").partition(":")
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            return True  # garbage lock (torn write): nobody holds it
+        if host and host != socket.gethostname():
+            return False  # cross-host locks cannot be liveness-checked
+        return not _pid_alive(pid)
+
+    def _release_lock(self, key: str) -> None:
+        try:
+            os.unlink(self._lock_path(key))
+        except OSError:
+            pass
+
+    def _sweep_dead_tmp_files(self, key: str) -> None:
+        """Remove temp files abandoned by dead writers of this key."""
+        directory = os.path.dirname(self.entry_path(key))
+        prefix = "." + key + "."
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return
+        for name in names:
+            if not (name.startswith(prefix) and name.endswith(".tmp")):
+                continue
+            pid_text = name[len(prefix):-4]
+            if pid_text.isdigit() and _pid_alive(int(pid_text)):
+                continue
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:
+                pass
+
+    def _entry_bytes(self, key: str, payload: bytes) -> bytes:
+        header = {
+            "kind": ENTRY_KIND,
+            "version": SCHEMA_VERSION,
+            "analysis": analysis_version(),
+            "key": key,
+            "python": sys.implementation.cache_tag,
+            "payload_bytes": len(payload),
+        }
+        header_line = (json.dumps(header, sort_keys=True,
+                                  separators=(",", ":")) + "\n").encode("ascii")
+        return header_line + payload + hashlib.sha256(header_line + payload).digest()
+
+    def store(self, key: str, payload: bytes) -> bool:
+        """Atomically (re)write ``key``'s entry; False when skipped."""
+        if self.armed_fault == "cache-stale-lock":
+            self.armed_fault = None
+            self.stats["faults_injected"] += 1
+            self._plant_stale_lock(key)
+        if not self._acquire_lock(key):
+            self.stats["store_skips"] += 1
+            return False
+        path = self.entry_path(key)
+        directory = os.path.dirname(path)
+        tmp = os.path.join(directory, f".{key}.{os.getpid()}.tmp")
+        try:
+            os.makedirs(directory, exist_ok=True)
+            data = self._entry_bytes(key, payload)
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            if self.fsync:
+                self._fsync_dir(directory)
+            self.stats["stores"] += 1
+        except OSError:
+            self.stats["store_errors"] += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        finally:
+            self._release_lock(key)
+        if self.armed_fault in ("cache-torn", "cache-bitflip"):
+            fault, self.armed_fault = self.armed_fault, None
+            self.stats["faults_injected"] += 1
+            self._corrupt_entry(path, fault)
+            # Drive the full quarantine-and-regenerate cycle in-line, the
+            # same way the journal fault immediately runs its recovery: the
+            # corrupt entry must be caught, moved aside, and replaced by a
+            # freshly stored good copy.
+            assert self.load(key) is None, "corrupt entry escaped validation"
+            return self.store(key, payload)
+        return True
+
+    @staticmethod
+    def _fsync_dir(directory: str) -> None:
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def _plant_stale_lock(self, key: str) -> None:
+        lock = self._lock_path(key)
+        os.makedirs(os.path.dirname(lock), exist_ok=True)
+        with open(lock, "wb") as handle:
+            handle.write(f"{_dead_pid()}:{socket.gethostname()}".encode("utf-8"))
+
+    @staticmethod
+    def _corrupt_entry(path: str, fault: str) -> None:
+        try:
+            with open(path, "rb") as handle:
+                data = bytearray(handle.read())
+        except OSError:
+            return
+        if fault == "cache-torn":
+            data = data[:max(1, len(data) // 2)]
+        else:  # cache-bitflip
+            data[len(data) // 2] ^= 0x40
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+
+
+# ---------------------------------------------------------------------------
+# Module-level tier wiring (consumed by artifact.ArtifactCache and the
+# difftest runner)
+# ---------------------------------------------------------------------------
+
+_TIER: DiskCache | None = None
+#: artifacts created since the last flush (strong refs; flushed per program).
+_PENDING: list = []
+
+
+def configure(root: str | None, **kwargs) -> DiskCache | None:
+    """Enable (or, with None, disable) the persistent tier process-wide."""
+    global _TIER
+    _PENDING.clear()
+    _TIER = DiskCache(root, **kwargs) if root else None
+    return _TIER
+
+
+def tier() -> DiskCache | None:
+    return _TIER
+
+
+def enabled() -> bool:
+    return _TIER is not None
+
+
+def attach(artifact) -> None:
+    """Hook called by the in-process LRU on every artifact **miss**.
+
+    Computes the content fingerprint, prefills the artifact's memo dicts
+    from a valid disk entry when one exists, and registers the artifact for
+    the next :func:`flush` (which persists whatever was computed fresh).
+    """
+    cache = _TIER
+    if cache is None:
+        return
+    try:
+        artifact.fingerprint = fingerprint(artifact.function, artifact.ctx)
+    except Exception:
+        artifact.fingerprint = None  # unhashable IR: keep the artifact
+        return                       # purely in-memory
+    payload = cache.load(artifact.fingerprint)
+    if payload is not None:
+        try:
+            if load_artifact_payload(artifact, payload):
+                artifact.disk_snapshot = _memo_snapshot(artifact)
+            else:
+                cache._quarantine(cache.entry_path(artifact.fingerprint),
+                                  "wrong-function")
+        except Exception:
+            # Checksummed bytes that still fail to decode mean the entry was
+            # written by incompatible code: quarantine, regenerate.
+            cache._quarantine(cache.entry_path(artifact.fingerprint),
+                              "undecodable")
+    _PENDING.append(artifact)
+
+
+def flush() -> None:
+    """Persist every pending artifact whose memo state grew since load.
+
+    Called once per difftest program (after all models bound), so a
+    SIGKILLed worker loses at most the entries of its in-flight program —
+    which the next run simply regenerates.
+    """
+    cache = _TIER
+    if cache is None:
+        if _PENDING:
+            _PENDING.clear()
+        return
+    pending, _PENDING[:] = list(_PENDING), []
+    for artifact in pending:
+        key = artifact.fingerprint
+        if key is None:
+            continue
+        snapshot = _memo_snapshot(artifact)
+        if snapshot == artifact.disk_snapshot:
+            continue  # disk already holds everything this artifact knows
+        try:
+            payload = dump_artifact_payload(artifact)
+        except UnserializableArtifact:
+            cache.stats["store_errors"] += 1
+            continue
+        if cache.store(key, payload):
+            artifact.disk_snapshot = snapshot

@@ -142,12 +142,64 @@ def test_resume_after_kill_and_torn_tail_is_bit_identical(tmp_path, reference):
     assert full.stats["completed"] == COUNT
 
 
+def test_resume_reports_torn_tail_recovery_on_stderr(tmp_path, capfd, reference):
+    full = _run(tmp_path, name="full.jsonl", jobs=1)
+    data = (tmp_path / "full.jsonl").read_bytes()
+    partial = tmp_path / "partial.jsonl"
+    partial.write_bytes(data + b'{"index": 5, "se')
+    capfd.readouterr()
+    _run(tmp_path, name="partial.jsonl", jobs=1, resume=True)
+    err = capfd.readouterr().err
+    # The operator-facing crash diagnosis: which journal, where it was cut,
+    # how much was dropped, and which program gets re-run.
+    assert "recovered a torn tail" in err
+    assert str(partial) in err
+    assert f"byte offset {len(data)}" in err
+    assert "dropping 16 corrupt trailing byte(s)" in err
+    assert "program index 5 will be re-run" in err
+    assert full.stats["completed"] == COUNT
+
+
+def test_injected_cache_faults_with_artifact_cache_still_bit_identical(
+        tmp_path, reference):
+    cache_root = tmp_path / "artifact-cache"
+    outcome = _run(
+        tmp_path, jobs=2, artifact_cache=str(cache_root),
+        inject=parse_inject_spec("cache-torn:1,cache-bitflip:4,"
+                                 "cache-stale-lock:7", COUNT))
+    assert outcome.stats["quarantined"] == 0
+    _assert_bit_identical(outcome.records, reference)
+    # The torn/bitflip faults really fired: their evidence is quarantined.
+    quarantined = os.listdir(cache_root / "quarantine")
+    assert any(name.endswith(".truncated") for name in quarantined)
+    assert any(name.endswith(".checksum") for name in quarantined)
+    # Warm pass over the (healed) cache: still bit-identical.
+    warm = _run(tmp_path, name="warm.jsonl", jobs=2,
+                artifact_cache=str(cache_root))
+    _assert_bit_identical(warm.records, reference)
+
+
+def test_host_shards_partition_and_rebuild_the_sweep(tmp_path, reference):
+    by_index = {}
+    for i in range(3):
+        outcome = _run(tmp_path, name=f"shard{i}.jsonl", host_shard=(i, 3))
+        indices = [record["index"] for record in outcome.records]
+        assert indices == list(range(i, COUNT, 3))
+        for record in outcome.records:
+            by_index[record["index"]] = record
+    _assert_bit_identical([by_index[i] for i in range(COUNT)], reference)
+
+
 def test_resume_rejects_journal_from_different_sweep(tmp_path):
     _run(tmp_path, jobs=1)
     with pytest.raises(ServiceError, match="different sweep"):
         _run(tmp_path, resume=True, seed=SEED + 1)
     with pytest.raises(ServiceError, match="different sweep"):
         _run(tmp_path, resume=True, count=COUNT + 5)
+    # host_shard is part of the sweep identity: resuming a whole-sweep
+    # journal as one shard of it would silently skip indices.
+    with pytest.raises(ServiceError, match="different sweep.*host_shard"):
+        _run(tmp_path, resume=True, host_shard=(0, 2))
     with pytest.raises(ServiceError, match="does not exist"):
         _run(tmp_path, name="never-written.jsonl", resume=True)
 
@@ -248,16 +300,17 @@ def test_journal_rejects_foreign_files(tmp_path):
 def test_parse_inject_all_schedules_every_kind_at_distinct_indices():
     plan = parse_inject_spec("all", 200)
     kinds = {fault.kind for fault in plan.faults}
-    assert kinds == {"crash", "hang", "engine", "journal"}
+    assert kinds == {"crash", "hang", "engine", "journal",
+                     "cache-torn", "cache-bitflip", "cache-stale-lock"}
     indices = [fault.index for fault in plan.faults]
-    assert len(set(indices)) == 4
+    assert len(set(indices)) == 7
     assert all(0 <= index < 200 for index in indices)
     assert not any(fault.always for fault in plan.faults)
 
 
 def test_parse_inject_spec_validation():
-    with pytest.raises(ServiceError, match=">= 4 programs"):
-        parse_inject_spec("all", 3)
+    with pytest.raises(ServiceError, match=">= 7 programs"):
+        parse_inject_spec("all", 6)
     with pytest.raises(ServiceError, match="unknown fault kind"):
         parse_inject_spec("segfault", 10)
     with pytest.raises(ServiceError, match="outside the corpus"):
@@ -280,6 +333,10 @@ def test_service_argument_validation(tmp_path):
         SweepService(seed=0, count=4, retries=-1, journal_path=path)
     with pytest.raises(ServiceError, match="unknown models"):
         SweepService(seed=0, count=4, models=("pdp12",), journal_path=path)
+    with pytest.raises(ServiceError, match="--host-shard"):
+        SweepService(seed=0, count=4, host_shard=(3, 3), journal_path=path)
+    with pytest.raises(ServiceError, match="--host-shard"):
+        SweepService(seed=0, count=4, host_shard=(-1, 2), journal_path=path)
 
 
 # ---------------------------------------------------------------------------

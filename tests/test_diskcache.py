@@ -1,0 +1,256 @@
+"""Crash-consistent persistent artifact cache (repro.interp.diskcache).
+
+Two layers of coverage:
+
+* **Container-level** tests drive :class:`DiskCache` directly with synthetic
+  payload bytes: every corruption class (torn header, garbage header, stale
+  analysis version, truncated payload, flipped bit, wrong key) must be
+  caught by validation, quarantined with the right reason suffix, and
+  reported as a miss — never served.  Lock-file coordination (live-holder
+  skip, dead-PID takeover, abandoned-temp sweep) and the armed fault kinds
+  are pinned here too.
+* **Pipeline-level** tests run real differential sweeps through the tier
+  and pin the acceptance contract: cold cache, warm cache and no cache all
+  classify bit-identically, and the warm run actually hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.difftest.generator import generate_program
+from repro.difftest.oracle import cell_record, classify_results
+from repro.difftest.runner import DifferentialRunner
+from repro.interp import diskcache
+from repro.interp.artifact import ARTIFACTS
+from repro.interp.diskcache import DiskCache
+
+KEY = "ab" + "0" * 62
+OTHER_KEY = "cd" + "1" * 62
+PAYLOAD = b"not-really-marshal-but-the-container-does-not-care"
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(str(tmp_path / "cache"), fsync=False)
+
+
+@pytest.fixture
+def no_tier():
+    """Isolate the module tier: tests restore the disabled state afterwards."""
+    diskcache.configure(None)
+    ARTIFACTS.clear()
+    yield
+    diskcache.configure(None)
+    ARTIFACTS.clear()
+
+
+# ---------------------------------------------------------------------------
+# Container round-trip and validation
+# ---------------------------------------------------------------------------
+
+
+def test_store_then_load_roundtrip(cache):
+    assert cache.load(KEY) is None
+    assert cache.store(KEY, PAYLOAD)
+    assert cache.load(KEY) == PAYLOAD
+    assert cache.stats["stores"] == 1
+    assert cache.stats["hits"] == 1
+    assert cache.stats["misses"] == 1
+
+
+def test_keys_do_not_alias(cache):
+    cache.store(KEY, PAYLOAD)
+    cache.store(OTHER_KEY, b"other")
+    assert cache.load(KEY) == PAYLOAD
+    assert cache.load(OTHER_KEY) == b"other"
+
+
+def _quarantined_reasons(cache):
+    try:
+        names = os.listdir(cache.quarantine_dir)
+    except FileNotFoundError:
+        return []
+    return sorted(name.split(".art.", 1)[1] for name in names)
+
+
+def _corrupt(path, mutate):
+    with open(path, "rb") as handle:
+        data = bytearray(handle.read())
+    with open(path, "wb") as handle:
+        handle.write(bytes(mutate(data)))
+
+
+@pytest.mark.parametrize("mutate,reason", [
+    (lambda data: data[:data.find(b"\n") + 1 + 10], "truncated"),
+    (lambda data: data[:5], "truncated-header"),
+    (lambda data: b"{not json" + data[data.find(b"\n"):], "corrupt-header"),
+    (lambda data: bytes(data[:len(data) - 10])
+        + bytes([data[len(data) - 10] ^ 0x01]) + bytes(data[len(data) - 9:]),
+     "checksum"),
+], ids=["torn-payload", "headerless", "garbage-header", "bitflip"])
+def test_corruption_is_quarantined_and_regenerated(cache, mutate, reason):
+    cache.store(KEY, PAYLOAD)
+    path = cache.entry_path(KEY)
+    _corrupt(path, mutate)
+    # Never served: the corrupt entry is a miss, moved aside with evidence.
+    assert cache.load(KEY) is None
+    assert not os.path.exists(path)
+    assert _quarantined_reasons(cache) == [reason]
+    assert cache.stats["quarantined"] == 1
+    # And the regenerate path works: a fresh store fully heals the key.
+    assert cache.store(KEY, PAYLOAD)
+    assert cache.load(KEY) == PAYLOAD
+
+
+def _rewrite_header(data: bytearray, **overrides) -> bytes:
+    newline = data.find(b"\n")
+    header = json.loads(data[:newline])
+    header.update(overrides)
+    line = (json.dumps(header, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("ascii")
+    return line + bytes(data[newline + 1:])
+
+
+def test_stale_analysis_version_is_never_trusted(cache):
+    cache.store(KEY, PAYLOAD)
+    _corrupt(cache.entry_path(KEY),
+             lambda data: _rewrite_header(data, analysis="f" * 16))
+    assert cache.load(KEY) is None
+    assert _quarantined_reasons(cache) == ["version-mismatch"]
+
+
+def test_foreign_schema_and_key_mismatch_are_quarantined(cache):
+    cache.store(KEY, PAYLOAD)
+    _corrupt(cache.entry_path(KEY),
+             lambda data: _rewrite_header(data, version=999))
+    assert cache.load(KEY) is None
+    cache.store(KEY, PAYLOAD)
+    _corrupt(cache.entry_path(KEY),
+             lambda data: _rewrite_header(data, key=OTHER_KEY))
+    assert cache.load(KEY) is None
+    assert _quarantined_reasons(cache) == ["foreign-entry", "key-mismatch"]
+
+
+# ---------------------------------------------------------------------------
+# Lock coordination
+# ---------------------------------------------------------------------------
+
+
+def test_live_lock_holder_skips_the_store(cache):
+    os.makedirs(os.path.dirname(cache._lock_path(KEY)), exist_ok=True)
+    with open(cache._lock_path(KEY), "wb") as handle:
+        handle.write(f"{os.getpid()}:x-no-such-host".encode())
+    # Cross-host live-looking lock: not liveness-checkable, holder wins.
+    assert cache.store(KEY, PAYLOAD) is False
+    assert cache.stats["store_skips"] == 1
+    assert cache.load(KEY) is None  # nothing was written
+
+
+def test_dead_pid_lock_is_taken_over(cache):
+    cache._plant_stale_lock(KEY)
+    # Simulate the dead writer's abandoned temp file alongside its lock.
+    directory = os.path.dirname(cache.entry_path(KEY))
+    os.makedirs(directory, exist_ok=True)
+    abandoned = os.path.join(directory, f".{KEY}.{4_194_302}.tmp")
+    open(abandoned, "wb").close()
+    assert cache.store(KEY, PAYLOAD) is True
+    assert cache.stats["lock_takeovers"] == 1
+    assert cache.load(KEY) == PAYLOAD
+    assert not os.path.exists(cache._lock_path(KEY))
+    assert not os.path.exists(abandoned)
+
+
+def test_garbage_lock_file_counts_as_stale(cache):
+    os.makedirs(os.path.dirname(cache._lock_path(KEY)), exist_ok=True)
+    with open(cache._lock_path(KEY), "wb") as handle:
+        handle.write(b"torn-write-no-pid")
+    assert cache.store(KEY, PAYLOAD) is True
+    assert cache.load(KEY) == PAYLOAD
+
+
+# ---------------------------------------------------------------------------
+# Armed faults (the --inject cache-* hooks)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fault", ["cache-torn", "cache-bitflip",
+                                   "cache-stale-lock"])
+def test_armed_fault_recovers_to_a_good_entry(cache, fault):
+    cache.arm_fault(fault)
+    assert cache.store(KEY, PAYLOAD) is True
+    assert cache.armed_fault is None
+    assert cache.stats["faults_injected"] == 1
+    # Whatever the fault did, the surviving entry is valid and correct.
+    assert cache.load(KEY) == PAYLOAD
+    if fault in ("cache-torn", "cache-bitflip"):
+        assert cache.stats["quarantined"] == 1
+    else:
+        assert cache.stats["lock_takeovers"] == 1
+
+
+def test_arm_fault_rejects_unknown_kind(cache):
+    with pytest.raises(ValueError, match="unknown cache fault"):
+        cache.arm_fault("cache-meltdown")
+
+
+# ---------------------------------------------------------------------------
+# Pipeline integration: bit-identity across cache states
+# ---------------------------------------------------------------------------
+
+_MODELS = ("pdp11", "hardbound")
+
+
+def _sweep_signature(count=4):
+    """Classification records for a small sweep, as canonical JSON."""
+    runner = DifferentialRunner(models=_MODELS, analyze=False)
+    records = []
+    for index in range(count):
+        program = generate_program(0, index)
+        result = runner.run_program(program)
+        records.append(cell_record(program, result, classify_results(result)))
+    return json.dumps(records, sort_keys=True)
+
+
+def test_cold_warm_and_no_cache_classify_bit_identically(tmp_path, no_tier):
+    baseline = _sweep_signature()
+
+    diskcache.configure(str(tmp_path / "tier"), fsync=False)
+    ARTIFACTS.clear()
+    cold = _sweep_signature()
+    cold_stats = dict(diskcache.tier().stats)
+    assert cold_stats["stores"] > 0
+    assert cold_stats["hits"] == 0
+
+    diskcache.configure(str(tmp_path / "tier"), fsync=False)
+    ARTIFACTS.clear()
+    warm = _sweep_signature()
+    warm_stats = dict(diskcache.tier().stats)
+    assert warm_stats["hits"] > 0
+    assert warm_stats["stores"] == 0  # nothing new to persist when warm
+
+    assert cold == baseline
+    assert warm == baseline
+
+
+def test_corrupted_tier_regenerates_and_stays_identical(tmp_path, no_tier):
+    baseline = _sweep_signature(count=2)
+    root = tmp_path / "tier"
+    diskcache.configure(str(root), fsync=False)
+    ARTIFACTS.clear()
+    assert _sweep_signature(count=2) == baseline
+    # Corrupt every entry on disk, then re-run warm: all corruption must be
+    # quarantined and the results must not move a byte.
+    entries = [os.path.join(dirpath, name)
+               for dirpath, _dirs, names in os.walk(root)
+               for name in names if name.endswith(".art")]
+    assert entries
+    for path in entries:
+        _corrupt(path, lambda data: data[:max(1, len(data) // 3)])
+    diskcache.configure(str(root), fsync=False)
+    ARTIFACTS.clear()
+    assert _sweep_signature(count=2) == baseline
+    assert diskcache.tier().stats["quarantined"] == len(entries)

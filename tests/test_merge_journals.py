@@ -1,0 +1,231 @@
+"""Corruption-aware multi-host journal merge (repro.difftest.merge).
+
+The acceptance contract has two halves, both pinned here:
+
+* a 3-way ``--host-shard`` split, merged, produces exactly the records a
+  single-host serial sweep produces (and therefore byte-identical derived
+  artifacts — the artifact construction itself is shared code);
+* the merge *refuses*, with a non-zero CLI exit and a diagnostic naming the
+  journals involved, on every condition that could silently falsify the
+  merged Table 5: header mismatch, gap, overlap, conflicting cell records,
+  duplicated shards, or a record outside its journal's declared shard.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.common.errors import JournalError, MergeError
+from repro.difftest.journal import JournalWriter, make_header
+from repro.difftest.merge import merge_journals
+from repro.difftest.service import SweepService
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+MODELS = ("pdp11", "hardbound")
+
+
+def _header(count=6, shard=None, seed=0):
+    return make_header(seed=seed, count=count, models=MODELS, budget=1000,
+                       generator_version=1, analyze=False, host_shard=shard)
+
+
+def _record(index, *, category="agree"):
+    return {"index": index, "seed": 1000 + index, "features": ["probe"],
+            "classification": {m: category for m in MODELS}, "metrics": {}}
+
+
+def _write_journal(path, header, records):
+    with JournalWriter.create(str(path), header) as writer:
+        for record in records:
+            writer.append(record)
+    return str(path)
+
+
+def _shard_pair(tmp_path, count=6):
+    """Two complete half-shard journals of a ``count``-program sweep."""
+    paths = []
+    for i in range(2):
+        paths.append(_write_journal(
+            tmp_path / f"shard{i}.jsonl", _header(count, shard=(i, 2)),
+            [_record(index) for index in range(i, count, 2)]))
+    return paths
+
+
+# ---------------------------------------------------------------------------
+# The happy path
+# ---------------------------------------------------------------------------
+
+
+def test_merge_recombines_shards_in_index_order(tmp_path):
+    merged = merge_journals(_shard_pair(tmp_path))
+    assert [record["index"] for record in merged.records] == list(range(6))
+    assert merged.header["host_shard"] is None
+    assert merged.recoveries == []
+
+
+def test_merged_shards_match_a_single_host_serial_sweep(tmp_path):
+    count = 9
+    serial = SweepService(
+        seed=0, count=count, models=MODELS, analyze=False,
+        journal_path=str(tmp_path / "serial.jsonl")).run()
+    shard_paths = []
+    for i in range(3):
+        path = tmp_path / f"shard{i}.jsonl"
+        SweepService(seed=0, count=count, models=MODELS, analyze=False,
+                     host_shard=(i, 3), journal_path=str(path)).run()
+        shard_paths.append(str(path))
+    merged = merge_journals(shard_paths)
+    assert json.dumps(merged.records, sort_keys=True) == \
+        json.dumps(serial.records, sort_keys=True)
+
+
+def test_torn_tail_in_an_input_is_recovered_in_memory_only(tmp_path):
+    paths = _shard_pair(tmp_path)
+    with open(paths[1], "ab") as handle:
+        handle.write(b'{"index":5,"torn":')
+    before = pathlib.Path(paths[1]).read_bytes()
+    merged = merge_journals(paths)
+    assert [record["index"] for record in merged.records] == list(range(6))
+    assert len(merged.recoveries) == 1
+    assert merged.recoveries[0]["journal"] == paths[1]
+    assert merged.recoveries[0]["torn_index"] == 5
+    assert merged.recoveries[0]["dropped_bytes"] == len(b'{"index":5,"torn":')
+    # The input file belongs to the host that wrote it: never modified.
+    assert pathlib.Path(paths[1]).read_bytes() == before
+
+
+# ---------------------------------------------------------------------------
+# Refusals
+# ---------------------------------------------------------------------------
+
+
+def test_refuses_a_gap_with_a_resume_hint(tmp_path):
+    paths = [
+        _write_journal(tmp_path / "shard0.jsonl", _header(6, shard=(0, 2)),
+                       [_record(0), _record(2)]),  # index 4 missing
+        _write_journal(tmp_path / "shard1.jsonl", _header(6, shard=(1, 2)),
+                       [_record(index) for index in (1, 3, 5)]),
+    ]
+    with pytest.raises(MergeError, match=r"missing \[4\].*--resume"):
+        merge_journals(paths)
+
+
+def test_refuses_a_missing_shard_entirely(tmp_path):
+    paths = _shard_pair(tmp_path)
+    with pytest.raises(MergeError, match="cover 3/6"):
+        merge_journals(paths[:1])
+
+
+def test_refuses_an_overlap_even_when_records_agree(tmp_path):
+    paths = [
+        _write_journal(tmp_path / "a.jsonl", _header(2, shard=None),
+                       [_record(0), _record(1)]),
+        _write_journal(tmp_path / "b.jsonl", _header(2, shard=None),
+                       [_record(1)]),
+    ]
+    with pytest.raises(MergeError, match="overlap at program index 1"):
+        merge_journals(paths)
+
+
+def test_refuses_a_conflict_with_a_distinct_diagnostic(tmp_path):
+    paths = [
+        _write_journal(tmp_path / "a.jsonl", _header(2, shard=None),
+                       [_record(0), _record(1)]),
+        _write_journal(tmp_path / "b.jsonl", _header(2, shard=None),
+                       [_record(1, category="ub:bounds")]),
+    ]
+    with pytest.raises(MergeError, match="conflict at program index 1"):
+        merge_journals(paths)
+
+
+def test_refuses_a_header_identity_mismatch(tmp_path):
+    paths = [
+        _write_journal(tmp_path / "a.jsonl", _header(6, shard=(0, 2)),
+                       [_record(index) for index in (0, 2, 4)]),
+        _write_journal(tmp_path / "b.jsonl", _header(6, shard=(1, 2), seed=7),
+                       [_record(index) for index in (1, 3, 5)]),
+    ]
+    with pytest.raises(MergeError, match="different sweep.*seed"):
+        merge_journals(paths)
+
+
+def test_refuses_the_same_shard_journaled_twice(tmp_path):
+    paths = [
+        _write_journal(tmp_path / "a.jsonl", _header(6, shard=(0, 2)),
+                       [_record(index) for index in (0, 2, 4)]),
+        _write_journal(tmp_path / "b.jsonl", _header(6, shard=(0, 2)), []),
+    ]
+    with pytest.raises(MergeError, match="shard was journaled twice"):
+        merge_journals(paths)
+
+
+def test_refuses_disagreeing_shard_counts(tmp_path):
+    paths = [
+        _write_journal(tmp_path / "a.jsonl", _header(6, shard=(0, 2)),
+                       [_record(index) for index in (0, 2, 4)]),
+        _write_journal(tmp_path / "b.jsonl", _header(6, shard=(1, 3)),
+                       [_record(index) for index in (1, 4)]),
+    ]
+    with pytest.raises(MergeError, match="disagree on the shard count"):
+        merge_journals(paths)
+
+
+def test_refuses_a_record_outside_its_declared_shard(tmp_path):
+    paths = [
+        _write_journal(tmp_path / "a.jsonl", _header(6, shard=(0, 2)),
+                       [_record(0), _record(1)]),  # 1 % 2 != 0: mislabeled
+        _write_journal(tmp_path / "b.jsonl", _header(6, shard=(1, 2)),
+                       [_record(index) for index in (1, 3, 5)]),
+    ]
+    with pytest.raises(MergeError, match="corrupt or mislabeled"):
+        merge_journals(paths)
+
+
+def test_refuses_duplicate_paths_and_non_journals(tmp_path):
+    path = _write_journal(tmp_path / "a.jsonl", _header(2), [_record(0)])
+    with pytest.raises(MergeError, match="more than once"):
+        merge_journals([path, path])
+    not_a_journal = tmp_path / "noise.jsonl"
+    not_a_journal.write_text('{"kind": "something-else"}\n')
+    with pytest.raises(JournalError, match="not a difftest journal"):
+        merge_journals([path, str(not_a_journal)])
+    with pytest.raises(MergeError, match="no journals"):
+        merge_journals([])
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+# ---------------------------------------------------------------------------
+
+
+def _run_cli(script, *argv):
+    return subprocess.run(
+        [sys.executable, str(REPO / "scripts" / script), *argv],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
+
+
+def test_merge_cli_refuses_a_gap_with_nonzero_exit(tmp_path):
+    paths = _shard_pair(tmp_path)
+    proc = _run_cli("merge_journals.py", paths[0],
+                    "--out-dir", str(tmp_path / "out"), "--reduce", "0")
+    assert proc.returncode == 2
+    assert "cover 3/6" in proc.stderr
+    assert not (tmp_path / "out").exists()  # no partial artifacts
+
+
+def test_run_difftest_merge_flag_refuses_conflicts(tmp_path):
+    paths = [
+        _write_journal(tmp_path / "a.jsonl", _header(2), [_record(0), _record(1)]),
+        _write_journal(tmp_path / "b.jsonl", _header(2),
+                       [_record(1, category="ub:bounds")]),
+    ]
+    proc = _run_cli("run_difftest.py", "--merge", *paths,
+                    "--out-dir", str(tmp_path / "out"), "--reduce", "0")
+    assert proc.returncode == 2
+    assert "conflict at program index 1" in proc.stderr

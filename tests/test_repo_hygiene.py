@@ -51,7 +51,8 @@ def test_gitignore_covers_caches():
     gitignore = (REPO_ROOT / ".gitignore").read_text()
     for pattern in ("__pycache__/", "*.pyc", ".pytest_cache/",
                     ".hypothesis/", ".benchmarks/",
-                    "difftest_journal*.jsonl", "*.journal.jsonl"):
+                    "difftest_journal*.jsonl", "*.journal.jsonl",
+                    "artifact-cache*/", "*.artifact-cache/", "*.art"):
         assert pattern in gitignore, f".gitignore lost the {pattern!r} entry"
 
 
@@ -64,6 +65,20 @@ def test_no_sweep_journal_scratch_is_git_tracked():
                  or pathlib.PurePosixPath(path).name.startswith("difftest_journal")]
     assert not offenders, (
         f"sweep journal scratch is committed (git rm --cached): {offenders[:10]}"
+    )
+
+
+def test_no_artifact_cache_scratch_is_git_tracked():
+    """Disk-tier cache entries (and their quarantine evidence) are
+    content-addressed machine state — regenerable from source, specific to
+    one interpreter build, and poisonous when stale; they must never ride
+    along in a commit."""
+    offenders = [path for path in _tracked_files()
+                 if path.endswith(".art")
+                 or "artifact-cache" in path
+                 or "/quarantine/" in path]
+    assert not offenders, (
+        f"artifact-cache scratch is committed (git rm --cached): {offenders[:10]}"
     )
 
 
@@ -104,6 +119,11 @@ def test_docs_reference_existing_results_files():
     missing = []
     for page in _doc_pages():
         for name in _RESULTS_REF.findall(page.read_text(encoding="utf-8")):
+            if name.startswith("difftest_journal"):
+                # per-run journal scratch (gitignored by design): the docs
+                # legitimately cite it in runbook commands, never as an
+                # artifact that must exist in the repository
+                continue
             if not (REPO_ROOT / "results" / name).exists():
                 missing.append(f"{page.relative_to(REPO_ROOT)} cites results/{name}")
     assert not missing, f"documentation cites absent results files: {missing}"
