@@ -69,10 +69,30 @@ def _parse_host_shard(text: str) -> tuple[int, int]:
 
 
 def _write_artifacts(records, out_dir, say, *, seed, count, models, budget,
-                     reduce_limit, generator_version=GENERATOR_VERSION) -> None:
+                     reduce_limit, crossval=False,
+                     generator_version=GENERATOR_VERSION) -> None:
     meta = sweep_output.sweep_meta(seed=seed, count=count, models=models,
                                    budget=budget,
                                    generator_version=generator_version)
+    if crossval:
+        # Static predictions are a pure function of (seed, index, models,
+        # budget): recomputing them here keeps the journal format unchanged
+        # and gives the serial, sharded and merged paths byte-identical
+        # annotations.
+        from repro.staticcheck import crossval as staticcheck_crossval
+        staticcheck_crossval.annotate_records(
+            records, seed=seed, models=models, budget=budget, say=say)
+        summary = staticcheck_crossval.summarize_crossval(records)
+        crossval_text = staticcheck_crossval.format_crossval(summary, meta=meta)
+        crossval_path = (pathlib.Path(out_dir)
+                         / staticcheck_crossval.CROSSVAL_NAME)
+        crossval_path.parent.mkdir(parents=True, exist_ok=True)
+        crossval_path.write_text(crossval_text + "\n", encoding="utf-8")
+        say(f"wrote {crossval_path}")
+        if summary.violations:
+            print(f"run_difftest: static cross-validation found "
+                  f"{len(summary.violations)} soundness violation(s); see "
+                  f"{crossval_path}", file=sys.stderr)
     matrix_text, document = sweep_output.build_outputs(records, meta=meta)
     document["reductions"] = sweep_output.compute_reductions(
         records, seed=seed, models=models, budget=budget,
@@ -115,7 +135,7 @@ def _run_merge(args, say) -> int:
     _write_artifacts(merged.records, out_dir, say,
                      seed=header["seed"], count=header["count"],
                      models=tuple(header["models"]), budget=header["budget"],
-                     reduce_limit=reduce_limit,
+                     reduce_limit=reduce_limit, crossval=args.crossval,
                      generator_version=header["generator_version"])
     return 0
 
@@ -132,6 +152,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--reduce", type=int, default=3, metavar="N",
                         help="minimize the first N divergent programs into the "
                              "JSON corpus (default 3; 0 disables)")
+    parser.add_argument("--crossval", action="store_true",
+                        help="run the static predictor (repro.staticcheck) "
+                             "over every program, annotate the corpus JSON "
+                             "with per-cell static_prediction and write "
+                             "results/staticcheck_crossval.txt")
+    parser.add_argument("--static-facts", action="store_true",
+                        help="annotate compiled modules with proven static "
+                             "facts (repro.staticcheck) so the interpreter "
+                             "unboxes proven call results and skips provably "
+                             "dead shadow bookkeeping; observationally "
+                             "identical, faster")
     parser.add_argument("--out-dir", default=None,
                         help="output directory (default: <repo>/results)")
     parser.add_argument("--jobs", type=int, default=1,
@@ -209,6 +240,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs, timeout=args.timeout, retries=args.retries,
             inject=inject, journal_path=str(journal_path),
             host_shard=host_shard, artifact_cache=artifact_cache,
+            static_facts=args.static_facts,
             progress=progress,
         )
         shard_size = len(service.shard_indices())
@@ -244,7 +276,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     _write_artifacts(records, out_dir, say, seed=args.seed, count=args.count,
-                     models=models, budget=budget, reduce_limit=args.reduce)
+                     models=models, budget=budget, reduce_limit=args.reduce,
+                     crossval=args.crossval)
     return 0
 
 

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Static memory-safety prediction: single programs or corpus cross-validation.
+
+Two modes:
+
+* **Single file** — predict the dynamic oracle's verdict for one mini-C
+  source under every requested model, without running the differential
+  machines::
+
+      PYTHONPATH=src python scripts/run_staticcheck.py prog.c
+
+* **Cross-validation sweep** (``--crossval``) — generate the seeded corpus,
+  run the dynamic oracle *and* the static predictor over every program, and
+  write the deterministic confusion matrix
+  ``results/staticcheck_crossval.txt`` (rows: static prediction, columns:
+  dynamic oracle) with per-trap precision/recall.  Disagreements are the
+  triage queue for scaling the sweep; ``--min-trap-precision`` turns the
+  aggregate ``trap:*`` precision into an exit-code floor for CI::
+
+      PYTHONPATH=src python scripts/run_staticcheck.py --crossval --count 200
+      PYTHONPATH=src python scripts/run_staticcheck.py --crossval --count 200 \\
+          --min-trap-precision 0.95
+
+The matrix is bit-deterministic for a given (seed, count, models, budget):
+two runs must produce identical bytes (the CI smoke job asserts exactly
+that).  See ``docs/staticcheck.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.difftest import GENERATOR_VERSION  # noqa: E402  (sys.path setup)
+from repro.difftest.generator import generate_program  # noqa: E402
+from repro.difftest.oracle import cell_record, classify_results  # noqa: E402
+from repro.difftest.output import sweep_meta  # noqa: E402
+from repro.difftest.runner import DEFAULT_BUDGET, DifferentialRunner  # noqa: E402
+from repro.interp.models import PAPER_MODEL_ORDER  # noqa: E402
+from repro.staticcheck.crossval import (  # noqa: E402
+    CROSSVAL_NAME,
+    format_crossval,
+    summarize_crossval,
+)
+from repro.staticcheck.predict import predict_source_report  # noqa: E402
+
+
+def _predict_file(path: str, models, budget: int, say) -> int:
+    source = pathlib.Path(path).read_text(encoding="utf-8")
+    report = predict_source_report(source, models=models, budget=budget)
+    say(f"{path}:")
+    for model in models:
+        say(f"  {model:<12} {report.verdicts.get(model, 'unknown')}")
+    for layout, reason in sorted(report.bail_reasons.items()):
+        say(f"  # walk for layout {layout[0]}B/{layout[1]}B bailed: {reason}")
+    return 0
+
+
+def _run_crossval(args, models, budget: int, say) -> int:
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else \
+        pathlib.Path(__file__).resolve().parent.parent / "results"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    runner = DifferentialRunner(models=models, budget=budget)
+    records = []
+    t0 = time.perf_counter()
+    for index in range(args.count):
+        program = generate_program(args.seed, index)
+        program_result = runner.run_program(program)
+        classification = classify_results(program_result)
+        prediction = predict_source_report(
+            program.source, models=models, budget=budget)
+        records.append(cell_record(program, program_result, classification,
+                                   static_prediction=prediction.verdicts))
+        if (index + 1) % 100 == 0:
+            say(f"  cross-validated {index + 1}/{args.count} programs "
+                f"({time.perf_counter() - t0:.1f}s)")
+
+    summary = summarize_crossval(records)
+    meta = sweep_meta(seed=args.seed, count=args.count, models=models,
+                      budget=budget, generator_version=GENERATOR_VERSION)
+    text = format_crossval(summary, meta=meta)
+    crossval_path = out_dir / CROSSVAL_NAME
+    crossval_path.write_text(text + "\n", encoding="utf-8")
+    say(f"wrote {crossval_path}")
+    say("")
+    say(text)
+
+    if summary.violations:
+        print(f"run_staticcheck: {len(summary.violations)} soundness "
+              f"violation(s): dynamically trapping cells were predicted "
+              f"safe", file=sys.stderr)
+        return 1
+    if args.min_trap_precision is not None:
+        precision = summary.trap_precision()
+        if precision is None:
+            print("run_staticcheck: --min-trap-precision given but the sweep "
+                  "produced no trap:* predictions", file=sys.stderr)
+            return 1
+        if precision < args.min_trap_precision:
+            print(f"run_staticcheck: trap:* precision {precision:.4f} is "
+                  f"below the floor {args.min_trap_precision:.4f}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("sources", nargs="*", metavar="FILE",
+                        help="mini-C source files to predict (omit with "
+                             "--crossval)")
+    parser.add_argument("--crossval", action="store_true",
+                        help="cross-validate the static predictor against "
+                             "the dynamic oracle over a generated corpus")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="corpus seed for --crossval (default 0)")
+    parser.add_argument("--count", type=int, default=200,
+                        help="number of generated programs for --crossval "
+                             "(default 200)")
+    parser.add_argument("--models", default=",".join(PAPER_MODEL_ORDER),
+                        help="comma-separated model names (default: all seven)")
+    parser.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                        help="per-run instruction budget (default: runner "
+                             "default)")
+    parser.add_argument("--out-dir", default=None,
+                        help="output directory for --crossval (default: "
+                             "<repo>/results)")
+    parser.add_argument("--min-trap-precision", type=float, default=None,
+                        metavar="P",
+                        help="fail (exit 1) if aggregate trap:* precision "
+                             "drops below P (CI floor)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    say = (lambda *a, **k: None) if args.quiet else print
+    models = tuple(name.strip() for name in args.models.split(",")
+                   if name.strip())
+
+    if args.crossval:
+        if args.sources:
+            parser.error("--crossval sweeps a generated corpus; it cannot be "
+                         "combined with source files")
+        return _run_crossval(args, models, args.budget, say)
+    if not args.sources:
+        parser.error("give at least one source file, or --crossval")
+    status = 0
+    for path in args.sources:
+        status = max(status, _predict_file(path, models, args.budget, say))
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,12 +17,22 @@ Detection rules (documented per idiom):
 * **II** — a ``gep`` from a stack or global object whose constant index
   provably lands outside the object.
 * **INT** — a ``ptrtoint`` whose full-width result is stored to memory (and
-  not arithmetically modified first).
+  not arithmetically modified anywhere — a dual-use value is IA, not INT).
 * **IA** — integer arithmetic (other than pure masking) on a value derived
   from a ``ptrtoint``.
 * **MASK** — ``&``/``|`` of a pointer-derived integer with a constant.
 * **WIDE** — a pointer value narrowed below the pointer width (direct narrow
   ``ptrtoint`` or a narrowing ``intcast`` of a pointer-derived value).
+
+INT, IA, MASK and WIDE are *flow-sensitive*: pointer-derivedness is a
+dataflow fact propagated to a fixpoint through casts, arithmetic results and
+stack-slot round trips (store to a local, load back), not a one-hop pattern
+match on the ``ptrtoint`` instruction's direct consumers.  The fixpoint also
+makes the INT/IA split order-independent: whether a stored-and-modified
+value's store appears before or after the arithmetic in the IR, the
+classification is the same (IA; the store of a dual-use value is not a
+separate INT finding).  See ``docs/staticcheck.md`` for the shared dataflow
+machinery.
 
 The counts are indicative rather than exact — the same caveat the paper makes
 about its own machine-assisted categorisation.
@@ -95,6 +105,7 @@ class IdiomDetector:
             for arg in instr.args:
                 if isinstance(arg, Temp):
                     users.setdefault(arg.index, []).append(instr)
+        derived = self._pointer_derived(function)
 
         for instr in function.instrs:
             if instr.op is Opcode.BITCAST and instr.attrs.get("deconst"):
@@ -104,9 +115,11 @@ class IdiomDetector:
             elif instr.op is Opcode.GEP:
                 self._analyze_gep(function, instr, users, defs)
             elif instr.op is Opcode.PTRTOINT:
-                self._analyze_ptrtoint(function, instr, users, defs)
+                self._analyze_ptrtoint(function, instr)
+            elif instr.op is Opcode.BINOP:
+                self._analyze_binop(function, instr, derived)
             elif instr.op is Opcode.INTCAST:
-                self._analyze_intcast(function, instr, defs)
+                self._analyze_intcast(function, instr, derived)
 
     # ------------------------------------------------------------------
 
@@ -139,50 +152,158 @@ class IdiomDetector:
                              f"intermediate {constant_index * element_size} bytes past a "
                              f"{object_size}-byte object")
 
-    def _analyze_ptrtoint(self, function: Function, instr: Instr, users, defs) -> None:
+    def _analyze_ptrtoint(self, function: Function, instr: Instr) -> None:
         width = instr.attrs.get("target_bytes", 8)
         pointer_width = self.module.context.pointer_bytes if self.module.context else 8
         if width < min(pointer_width, 8):
             self._record(Idiom.WIDE, function, instr,
                          f"pointer narrowed to a {width}-byte integer")
             return
-        consumers = users.get(instr.dest.index, []) if instr.dest is not None else []
-        arithmetic = [c for c in consumers if c.op is Opcode.BINOP]
-        stores = [c for c in consumers if c.op is Opcode.STORE and c.args[1:]
-                  and isinstance(c.args[1], Temp) and c.args[1].index == instr.dest.index]
-        for consumer in arithmetic:
-            operator = consumer.attrs.get("operator")
-            other = self._other_operand(consumer, instr.dest.index)
-            if operator in ("&", "|") and isinstance(other, Const):
-                self._record(Idiom.MASK, function, consumer, f"pointer masked with {other.value:#x}")
-            else:
-                self._record(Idiom.IA, function, consumer,
-                             f"integer arithmetic ({operator}) on a pointer value")
-        if stores and not arithmetic:
-            self._record(Idiom.INT, function, stores[0], "pointer stored in an integer variable")
+        store = self._unmodified_store(function, instr)
+        if store is not None:
+            self._record(Idiom.INT, function, store, "pointer stored in an integer variable")
 
-    def _analyze_intcast(self, function: Function, instr: Instr, defs) -> None:
+    def _analyze_binop(self, function: Function, instr: Instr, derived) -> None:
+        pdi, _ = derived
+        if not any(isinstance(arg, Temp) and arg.index in pdi for arg in instr.args):
+            return
+        operator = instr.attrs.get("operator")
+        constant = next((arg for arg in instr.args if isinstance(arg, Const)), None)
+        if operator in ("&", "|") and constant is not None:
+            self._record(Idiom.MASK, function, instr, f"pointer masked with {constant.value:#x}")
+        else:
+            self._record(Idiom.IA, function, instr,
+                         f"integer arithmetic ({operator}) on a pointer value")
+
+    def _analyze_intcast(self, function: Function, instr: Instr, derived) -> None:
         source_bytes = instr.attrs.get("source_bytes", 8)
         target_bytes = instr.attrs.get("target_bytes", 8)
         if target_bytes >= source_bytes or target_bytes >= 8:
             return
+        pdi, _ = derived
         origin = instr.args[0]
-        if isinstance(origin, Temp):
-            producer = defs.get(origin.index)
-            if producer is not None and producer.op is Opcode.PTRTOINT:
-                self._record(Idiom.WIDE, function, instr,
-                             f"pointer-derived value narrowed to {target_bytes} bytes")
+        if isinstance(origin, Temp) and origin.index in pdi:
+            self._record(Idiom.WIDE, function, instr,
+                         f"pointer-derived value narrowed to {target_bytes} bytes")
+
+    # ------------------------------------------------------------------
+    # pointer-derived dataflow (shared fact base for INT/IA/MASK/WIDE)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _slot_roots(function: Function) -> set[int]:
+        return {instr.dest.index for instr in function.instrs
+                if instr.op is Opcode.ALLOCA and instr.dest is not None}
+
+    def _pointer_derived(self, function: Function) -> tuple[set[int], set[int]]:
+        """Fixpoint of the *pointer-derived integer* fact.
+
+        Seeds at every full-width ``ptrtoint`` and propagates through
+        arithmetic results, value-preserving casts, and stack-slot round
+        trips (a store of a derived value taints the slot; integer loads
+        from a tainted slot are derived).  Narrowing below the pointer
+        width drops the fact — the value can no longer round-trip a
+        pointer, and the narrowing itself is counted as WIDE.
+        """
+        pointer_width = self.module.context.pointer_bytes if self.module.context else 8
+        full_width = min(pointer_width, 8)
+        slots = self._slot_roots(function)
+        pdi: set[int] = set()
+        pdi_slots: set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for instr in function.instrs:
+                dest = instr.dest.index if instr.dest is not None else None
+                op = instr.op
+                if op is Opcode.PTRTOINT:
+                    if dest is not None and dest not in pdi \
+                            and instr.attrs.get("target_bytes", 8) >= full_width:
+                        pdi.add(dest)
+                        changed = True
+                elif op in (Opcode.BINOP, Opcode.UNOP):
+                    if dest is not None and dest not in pdi and any(
+                            isinstance(arg, Temp) and arg.index in pdi
+                            for arg in instr.args):
+                        pdi.add(dest)
+                        changed = True
+                elif op is Opcode.INTCAST:
+                    if dest is not None and dest not in pdi \
+                            and instr.attrs.get("target_bytes", 8) >= 8 \
+                            and isinstance(instr.args[0], Temp) \
+                            and instr.args[0].index in pdi:
+                        pdi.add(dest)
+                        changed = True
+                elif op is Opcode.LOAD:
+                    if dest is not None and dest not in pdi \
+                            and isinstance(instr.ctype, IntType) \
+                            and isinstance(instr.args[0], Temp) \
+                            and instr.args[0].index in pdi_slots:
+                        pdi.add(dest)
+                        changed = True
+                elif op is Opcode.STORE and len(instr.args) > 1:
+                    address, value = instr.args[0], instr.args[1]
+                    if isinstance(address, Temp) and address.index in slots \
+                            and isinstance(value, Temp) and value.index in pdi \
+                            and address.index not in pdi_slots:
+                        pdi_slots.add(address.index)
+                        changed = True
+        return pdi, pdi_slots
+
+    def _unmodified_store(self, function: Function, source: Instr) -> Instr | None:
+        """The first store of this ``ptrtoint``'s *unmodified* result, or
+        None when there is none — or when the value is arithmetically
+        modified anywhere (dual use is IA, not INT, regardless of whether
+        the store or the arithmetic comes first in the IR)."""
+        if source.dest is None:
+            return None
+        slots = self._slot_roots(function)
+        reach = {source.dest.index}
+        reach_slots: set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for instr in function.instrs:
+                dest = instr.dest.index if instr.dest is not None else None
+                op = instr.op
+                if op is Opcode.INTCAST:
+                    # Value-preserving casts keep the stored value "the
+                    # pointer"; narrowing is a WIDE finding instead.
+                    if dest is not None and dest not in reach \
+                            and instr.attrs.get("target_bytes", 8) >= 8 \
+                            and isinstance(instr.args[0], Temp) \
+                            and instr.args[0].index in reach:
+                        reach.add(dest)
+                        changed = True
+                elif op is Opcode.STORE and len(instr.args) > 1:
+                    address, value = instr.args[0], instr.args[1]
+                    if isinstance(address, Temp) and address.index in slots \
+                            and isinstance(value, Temp) and value.index in reach \
+                            and address.index not in reach_slots:
+                        reach_slots.add(address.index)
+                        changed = True
+                elif op is Opcode.LOAD:
+                    if dest is not None and dest not in reach \
+                            and isinstance(instr.ctype, IntType) \
+                            and isinstance(instr.args[0], Temp) \
+                            and instr.args[0].index in reach_slots:
+                        reach.add(dest)
+                        changed = True
+        for instr in function.instrs:
+            if instr.op is Opcode.BINOP and any(
+                    isinstance(arg, Temp) and arg.index in reach
+                    for arg in instr.args):
+                return None
+        for instr in function.instrs:
+            if instr.op is Opcode.STORE and len(instr.args) > 1 \
+                    and isinstance(instr.args[1], Temp) \
+                    and instr.args[1].index in reach:
+                return instr
+        return None
 
     # ------------------------------------------------------------------
     # small def-use helpers
     # ------------------------------------------------------------------
-
-    @staticmethod
-    def _other_operand(instr: Instr, temp_index: int):
-        for arg in instr.args:
-            if not (isinstance(arg, Temp) and arg.index == temp_index):
-                return arg
-        return None
 
     @staticmethod
     def _negated_constant(operand, defs) -> int | None:

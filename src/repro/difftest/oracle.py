@@ -184,12 +184,18 @@ def format_matrix(summary: dict[str, dict[str, int]],
 
 
 def cell_record(program, program_result: ProgramResult,
-                classification: dict[str, str]) -> dict:
+                classification: dict[str, str], *,
+                static_prediction: dict[str, str] | None = None) -> dict:
     """Condense one program's outcome into a JSON-safe record.
 
     The record survives ``json.dumps``/``loads`` round-trips unchanged
     (plain ints, strings, lists, dicts), which is what lets the write-ahead
     journal checkpoint a sweep without losing artifact fidelity.
+
+    ``static_prediction`` (model -> category from
+    ``repro.staticcheck.PREDICTION_CATEGORIES``) is attached when the sweep
+    ran with static cross-validation; records without it serialize exactly
+    as before, so pre-existing journals and artifacts are unaffected.
     """
     record = {
         "index": program.index,
@@ -206,6 +212,8 @@ def cell_record(program, program_result: ProgramResult,
         record["idioms"] = {idiom.name: program_result.analysis.count(idiom)
                             for idiom in TABLE_IDIOMS
                             if program_result.analysis.count(idiom)}
+    if static_prediction is not None:
+        record["static_prediction"] = dict(static_prediction)
     return record
 
 
@@ -264,6 +272,10 @@ def corpus_document_from_records(records, *, meta: dict) -> dict:
         idioms = record.get("idioms")
         if idioms:
             entry["idioms"] = dict(idioms)
+        static_prediction = record.get("static_prediction")
+        if static_prediction is not None:
+            entry["static_prediction"] = {m: static_prediction[m]
+                                          for m in sorted(static_prediction)}
         divergent.append(entry)
     return {
         "meta": dict(sorted(meta.items())),

@@ -68,9 +68,23 @@ def compute_reductions(records, *, seed: int, models, budget: int,
     set exists: the single-host supervisor, or the merge host.  Quarantined
     cells (``error:engine``/``error:timeout``) have nothing to replay and
     are skipped.
+
+    Each reduction also carries the static predictor's verdict for the
+    *reduced* source under the divergent model, plus a
+    ``static_verdict_changed`` flag comparing it against the original
+    program's static verdict: delta-debugging preserves the dynamic
+    category by construction, so a changed static verdict means the
+    reduction crossed into a region the analyzer models differently — those
+    are the reductions worth a manual look before being trusted as minimal
+    reproducers (see docs/staticcheck.md).
     """
     if not limit:
         return []
+    # Imported lazily: repro.staticcheck's package init pulls in the
+    # predictor, which imports repro.difftest.runner (already imported at
+    # the top of this module — a module-level import would cycle during
+    # package init).
+    from repro.staticcheck.predict import predict_source
     models = tuple(models)
     runner = DifferentialRunner(models=models, budget=budget, analyze=False)
     reductions: list[dict] = []
@@ -95,6 +109,10 @@ def compute_reductions(records, *, seed: int, models, budget: int,
                 f"({model}={category}): {reduction.original_statements} -> "
                 f"{reduction.reduced_statements} statements "
                 f"in {reduction.tests_run} runs")
+        original_verdict = predict_source(
+            program.source, models=(model,), budget=budget).get(model)
+        reduced_verdict = predict_source(
+            reduction.source, models=(model,), budget=budget).get(model)
         reductions.append({
             "index": program.index,
             "model": model,
@@ -102,6 +120,8 @@ def compute_reductions(records, *, seed: int, models, budget: int,
             "statements_before": reduction.original_statements,
             "statements_after": reduction.reduced_statements,
             "source": reduction.source,
+            "static_prediction": reduced_verdict,
+            "static_verdict_changed": reduced_verdict != original_verdict,
         })
     return reductions
 

@@ -53,8 +53,15 @@ class DifferentialRunner:
 
     def __init__(self, models: tuple[str, ...] | None = None, *,
                  budget: int = DEFAULT_BUDGET, analyze: bool = True,
-                 collect_timing: bool = False, machine_hook=None) -> None:
+                 collect_timing: bool = False, machine_hook=None,
+                 static_facts: bool = False) -> None:
         self.model_names = tuple(models or PAPER_MODEL_ORDER)
+        #: annotate each compiled module with proven static facts
+        #: (repro.staticcheck.facts) so the interpreter can unbox proven
+        #: scalar call results and skip provably dead shadow bookkeeping.
+        #: Observationally identical to running without facts — only the
+        #: wall-clock changes — which the facts export tests pin.
+        self.static_facts = static_facts
         #: optional callable ``(machine, model_name)`` invoked on every
         #: freshly constructed machine before it runs — the fault-injection
         #: harness uses it to arm engine faults (difftest/faultinject.py).
@@ -109,6 +116,11 @@ class DifferentialRunner:
                 for name in selected:
                     out.compile_errors[name] = f"{type(exc).__name__}: {exc}"
                 continue
+            if self.static_facts:
+                # Imported lazily: repro.staticcheck's package init pulls in
+                # the predictor, which imports this module.
+                from repro.staticcheck.facts import annotate_module
+                annotate_module(module)
             if self.analyze and layout[0] == 8 and out.analysis is None:
                 out.analysis = analyze_module(module)
             for name in selected:

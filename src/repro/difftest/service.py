@@ -77,7 +77,8 @@ class SweepOutcome:
 
 
 def _worker_main(worker_id: int, corpus_seed: int, model_names, budget: int,
-                 analyze: bool, plan, cache_dir, task_q, result_q) -> None:
+                 analyze: bool, static_facts: bool, plan, cache_dir,
+                 task_q, result_q) -> None:
     """Worker loop: regenerate, run, classify, condense — one task at a time.
 
     Runs in a subprocess.  Tasks are ``("run", index, attempt)`` tuples;
@@ -92,7 +93,7 @@ def _worker_main(worker_id: int, corpus_seed: int, model_names, budget: int,
         # reconfiguring resets only this process's pending list.
         diskcache.configure(cache_dir)
     runner = DifferentialRunner(models=tuple(model_names), budget=budget,
-                                analyze=analyze)
+                                analyze=analyze, static_facts=static_facts)
     # Same GC discipline as DifferentialRunner.sweep: the per-program machine
     # graphs are cyclic; reclaim them with cheap young-generation passes.
     gc.disable()
@@ -135,6 +136,7 @@ class SweepService:
                  inject: FaultPlan | None = None, journal_path: str,
                  host_shard: tuple[int, int] | None = None,
                  artifact_cache: str | None = None,
+                 static_facts: bool = False,
                  progress=None) -> None:
         self.seed = seed
         self.count = count
@@ -165,6 +167,11 @@ class SweepService:
         self.journal_path = journal_path
         self.host_shard = tuple(host_shard) if host_shard else None
         self.artifact_cache = artifact_cache
+        #: run every model with static-facts annotations (pinned
+        #: observationally identical to facts-off, so NOT part of the
+        #: journal's sweep identity — a facts-on resume of a facts-off
+        #: journal replays the same cells).
+        self.static_facts = static_facts
         self.progress = progress
 
     # ------------------------------------------------------------------
@@ -215,8 +222,9 @@ class SweepService:
         result_q = ctx.SimpleQueue()
         proc = ctx.Process(target=_worker_main,
                            args=(worker_id, self.seed, self.model_names,
-                                 self.budget, self.analyze, self.inject,
-                                 self.artifact_cache, task_q, result_q),
+                                 self.budget, self.analyze, self.static_facts,
+                                 self.inject, self.artifact_cache,
+                                 task_q, result_q),
                            daemon=True, name=f"difftest-worker-{worker_id}")
         proc.start()
         return {"proc": proc, "task_q": task_q, "result_q": result_q,

@@ -126,7 +126,19 @@ def analyze_slots(function: Function, ctx, fast_noprov: bool) -> dict[int, tuple
     ``fast_noprov`` is False when the model overrides the provenance hook —
     arithmetic must then see every boxed operand, so its results cannot be
     proven provenance-free at compile time.
+
+    When the static checker has annotated the function
+    (``function.static_facts``, see repro.staticcheck.facts), CALL
+    destinations also qualify: ``noprov_callees`` lists the callees whose
+    result is proven to be a provenance-free ``IntVal`` of exactly the
+    recorded ``(bytes, signed)`` shape, so storing ``.value`` raw and
+    re-boxing with the slot type on read is an identity.
     """
+    facts = getattr(function, "static_facts", None)
+    callee_scalars: dict[str, tuple[int, bool]] = {}
+    if facts is not None:
+        callee_scalars = {name: (width, signed)
+                          for name, width, signed in facts.noprov_callees}
 
     def const_type(operand: Const) -> tuple[int, bool] | None:
         ctype = operand.ctype
@@ -185,6 +197,10 @@ def analyze_slots(function: Function, ctx, fast_noprov: bool) -> dict[int, tuple
             if type(source) is Const:
                 return const_type(source)
             return None
+        if op is Opcode.CALL:
+            if not fast_noprov:
+                return None
+            return callee_scalars.get(instr.attrs.get("callee"))
         return None
 
     instrs = [instr for instr in function.instrs if instr.dest is not None]
@@ -714,8 +730,8 @@ class PredecodeArtifact:
 
     __slots__ = ("function", "ctx", "instrs", "ninstrs", "mutations",
                  "labels", "use_counts", "nregs", "nallocas", "scratch",
-                 "_slot_types", "_fusions", "_plans", "_arg_raws",
-                 "fingerprint", "disk_snapshot")
+                 "shadow_flag", "_slot_types", "_fusions", "_plans",
+                 "_arg_raws", "fingerprint", "disk_snapshot")
 
     def __init__(self, function: Function, ctx) -> None:
         self.function = function
@@ -744,9 +760,14 @@ class PredecodeArtifact:
             if instr.op is Opcode.ALLOCA:
                 nallocas += 1
         self.use_counts = use_counts
-        self.nregs = max_temp + 2  # one extra scratch slot for dest-less ops
+        # Two extra frame slots beyond the temps: a scratch slot for
+        # dest-less ops, and a per-activation shadow-clean flag for the
+        # static-facts store fast path (UNDEF unless the function has safe
+        # allocas under a shadow-clearing model; see repro.staticcheck).
+        self.nregs = max_temp + 3
         self.nallocas = nallocas
         self.scratch = max_temp + 1 + FRAME_RESERVED
+        self.shadow_flag = max_temp + 2 + FRAME_RESERVED
         self._slot_types: dict[bool, dict] = {}
         self._fusions: dict[tuple, dict] = {}
         self._plans: dict[tuple, list[BlockPlan]] = {}

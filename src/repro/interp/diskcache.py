@@ -163,13 +163,26 @@ def _render_instr(instr) -> str:
 
 
 def fingerprint(function, ctx) -> str:
-    """Content hash of (analysis version, pointer layout, IR stream)."""
+    """Content hash of (analysis version, pointer layout, IR stream, facts).
+
+    Static-checker annotations (``function.static_facts``, see
+    repro.staticcheck.facts) change the derived artifact — CALL slots can go
+    raw, safe stores compile to flagged handlers — so the fact *values* are
+    part of the identity: the same IR with and without (or with different)
+    facts must never share an entry.
+    """
     digest = hashlib.sha256()
     digest.update(f"{analysis_version()}|{ctx.pointer_bytes}|"
                   f"{ctx.pointer_align}|{function.name}|"
                   f"{len(function.instrs)}\n".encode("utf-8"))
     for instr in function.instrs:
         digest.update(_render_instr(instr).encode("utf-8"))
+    facts = getattr(function, "static_facts", None)
+    if facts is not None:
+        digest.update(
+            f"facts|{facts.return_scalar}|{sorted(facts.noprov_callees)}"
+            f"|{sorted(facts.safe_allocas)}|{sorted(facts.safe_stores)}\n"
+            .encode("utf-8"))
     return digest.hexdigest()
 
 

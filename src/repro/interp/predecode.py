@@ -442,6 +442,36 @@ def compile_function(machine, function: Function) -> CompiledFunction:
     else:
         check_kind = 0
 
+    # Static-facts shadow fast path (repro.staticcheck.facts).  A
+    # shadow-clearing model may skip per-store shadow bookkeeping for stores
+    # rooted at a proven pointer-free, never-escaping alloca — but only once
+    # the alloca's address range is probed clean *for this activation*
+    # (stack addresses are reused across frames and pop_frame never purges
+    # shadow).  Soundness needs the base access-check policy: it rejects
+    # dangling and forged pointers before any shadow mutation, so no valid
+    # pointer into the never-escaping object exists besides the in-function
+    # aliases, and a probed-clean range provably stays clean.  The
+    # per-activation flag lives in a dedicated frame slot; gating every safe
+    # alloca into the straight-line entry prefix guarantees the flag is
+    # fully assigned before any skipped store can execute.
+    facts = getattr(function, "static_facts", None)
+    skip_shadow_stores: frozenset = frozenset()
+    safe_alloca_pcs: frozenset = frozenset()
+    first_safe_pc = -1
+    shadow_flag = artifact.shadow_flag
+    if (facts is not None and facts.safe_stores and facts.safe_allocas
+            and clear_shadow and model_check is MemoryModel.check_access):
+        first_transfer = stop
+        for pc_, instr_ in enumerate(instrs):
+            if instr_.op in (Opcode.LABEL, Opcode.JUMP, Opcode.CJUMP,
+                             Opcode.RET):
+                first_transfer = pc_
+                break
+        if max(facts.safe_allocas) < first_transfer:
+            skip_shadow_stores = facts.safe_stores
+            safe_alloca_pcs = facts.safe_allocas
+            first_safe_pc = min(safe_alloca_pcs)
+
     # Metadata-free pointer loads are pure per raw address for these models;
     # share one memo across the machine's compiled functions.
     if type(model).load_pointer_without_metadata in _PURE_PTR_LOADERS:
@@ -586,8 +616,12 @@ def compile_function(machine, function: Function) -> CompiledFunction:
                  mem_unpack is not None)
         return load_maker(shape)(b), ("mem", out, "load", shape, b)
 
-    def gen_store(instr, ptr_operand, delta, extra, next_pc):
-        """(handler, mem-desc) for a STORE; ``delta``/``extra`` = fused producer."""
+    def gen_store(instr, ptr_operand, delta, extra, next_pc, clear=clear_shadow):
+        """(handler, mem-desc) for a STORE; ``delta``/``extra`` = fused producer.
+
+        ``clear`` overrides the model-wide shadow-clear policy for the
+        static-facts fast path (a provably clean range needs no clearing).
+        """
         ctype = instr.ctype
         pslot, pcoerce = ptr_parts(ptr_operand)
         dkind, d1, d2, dlabel = delta
@@ -619,7 +653,7 @@ def compile_function(machine, function: Function) -> CompiledFunction:
             mem_pack = packer_for(8)
             b["mem_pack"] = mem_pack
             shape = ("ptr", pslot is not None, dkind, extra, check_kind,
-                     collect_timing, inline_cache, clear_shadow, uses_shadow,
+                     collect_timing, inline_cache, clear, uses_shadow,
                      2, isinstance(ctype, PointerType), span > 8,
                      mem_pack is not None)
             return store_maker(shape)(b), ("mem", None, "store", shape, b)
@@ -651,9 +685,26 @@ def compile_function(machine, function: Function) -> CompiledFunction:
         mem_pack = packer_for(size)
         b["mem_pack"] = mem_pack
         shape = ("scalar", pslot is not None, dkind, extra, check_kind,
-                 collect_timing, inline_cache, clear_shadow, uses_shadow,
+                 collect_timing, inline_cache, clear, uses_shadow,
                  value_mode, coerce_flag, False, mem_pack is not None)
         return store_maker(shape)(b), ("mem", None, "store", shape, b)
+
+    def gen_flagged_store(instr, ptr_operand, delta, extra, next_pc):
+        """Store rooted at a safe alloca: skip shadow clearing while the
+        activation's range is proven clean (flag == 1), else full path.
+        The flag is always a 0/1 int by the time a rooted store runs — its
+        address temp is produced after the (entry-prefix) allocas."""
+        fast, _ = gen_store(instr, ptr_operand, delta, extra, next_pc,
+                            clear=False)
+        slow, _ = gen_store(instr, ptr_operand, delta, extra, next_pc,
+                            clear=True)
+
+        def handler(frame, fast=fast, slow=slow, shadow_flag=shadow_flag):
+            if frame[shadow_flag] == 1:
+                return fast(frame)
+            return slow(frame)
+
+        return handler
 
     def gen_cmp_branch(cmp_instr, cjump_instr):
         """Fused CMP+CJUMP: compare and branch in one handler."""
@@ -762,6 +813,10 @@ def compile_function(machine, function: Function) -> CompiledFunction:
                                     if consumer.dest is not None else scratch)
                     handler, desc = gen_load(consumer, instr.args[0], delta, True,
                                              index + 2, consumer_out)
+                elif index + 1 in skip_shadow_stores:
+                    handler = gen_flagged_store(consumer, instr.args[0], delta,
+                                                True, index + 2)
+                    desc = ("ext", None)
                 else:
                     handler, desc = gen_store(consumer, instr.args[0], delta, True,
                                               index + 2)
@@ -894,13 +949,49 @@ def compile_function(machine, function: Function) -> CompiledFunction:
             # Allocas mutate allocator state and the `allocations` golden
             # metric, so they are charge points ("ext"), not deferred pures.
             desc = ("ext", out)
+            if index in safe_alloca_pcs:
+                # Probe the fresh allocation's 8-aligned shadow slots once
+                # per activation; only aligned entries matter because data
+                # stores clear exactly those.  The first (lowest-pc) safe
+                # alloca assigns the activation flag, later ones AND into it
+                # — execution order equals pc order in the entry prefix.
+                inner = handler
+                assign = index == first_safe_pc
+
+                def handler(frame, inner=inner, slot=slot, out=out,
+                            assign=assign, shadow_flag=shadow_flag,
+                            shadow_entries=shadow_entries):
+                    fresh = frame[_ALLOCAS][slot] is None
+                    pc = inner(frame)
+                    if fresh:
+                        obj = frame[out].obj
+                        if obj is None:
+                            clean = 0
+                        else:
+                            clean = 1
+                            if shadow_entries:
+                                base = obj.base
+                                for key in range(base, base + obj.size, 8):
+                                    if key in shadow_entries:
+                                        clean = 0
+                                        break
+                        if assign:
+                            frame[shadow_flag] = clean
+                        else:
+                            frame[shadow_flag] = clean & frame[shadow_flag]
+                    return pc
 
         elif op is Opcode.LOAD:
             handler, desc = gen_load(instr, instr.args[0], _NO_DELTA, False, next_pc,
                                      dest if dest is not None else scratch)
 
         elif op is Opcode.STORE:
-            handler, desc = gen_store(instr, instr.args[0], _NO_DELTA, False, next_pc)
+            if index in skip_shadow_stores:
+                handler = gen_flagged_store(instr, instr.args[0], _NO_DELTA,
+                                            False, next_pc)
+                desc = ("ext", None)
+            else:
+                handler, desc = gen_store(instr, instr.args[0], _NO_DELTA, False, next_pc)
 
         elif op is Opcode.GEP or op is Opcode.PTRADD:
             element_size = instr.attrs["element_size"] if op is Opcode.GEP else 1
@@ -1975,6 +2066,11 @@ def _make_call(machine, instr, dest: int | None, slot_types, next_pc: int):
     # compiled readers (through the intern pool), so callees, intrinsics and
     # model hooks only ever see IntVal/PtrVal.
     arg_readers = tuple(_reader(machine, arg, slot_types) for arg in instr.args)
+    # A raw destination slot only exists when the static checker proved the
+    # callee returns a provenance-free IntVal of exactly the slot's shape
+    # (repro.staticcheck.facts), so storing the bare value is an identity
+    # with the reader-side re-boxing.
+    unwrap = dest is not None and instr.dest.index in slot_types
     function = machine.module.functions.get(callee)
     result_type = instr.ctype
 
@@ -2041,7 +2137,9 @@ def _make_call(machine, instr, dest: int | None, slot_types, next_pc: int):
                 if not code_cell:
                     code_append(code_for(function))
                 result = machine_call(function, [], code_cell[0])
-                if dest is not None:
+                if unwrap:
+                    frame[dest] = result.value
+                elif dest is not None:
                     frame[dest] = result
                 return next_pc
         elif arity == 1:
@@ -2051,7 +2149,9 @@ def _make_call(machine, instr, dest: int | None, slot_types, next_pc: int):
                 if not code_cell:
                     code_append(code_for(function))
                 result = machine_call(function, [read0(frame)], code_cell[0])
-                if dest is not None:
+                if unwrap:
+                    frame[dest] = result.value
+                elif dest is not None:
                     frame[dest] = result
                 return next_pc
         elif arity == 2:
@@ -2061,7 +2161,9 @@ def _make_call(machine, instr, dest: int | None, slot_types, next_pc: int):
                 if not code_cell:
                     code_append(code_for(function))
                 result = machine_call(function, [read0(frame), read1(frame)], code_cell[0])
-                if dest is not None:
+                if unwrap:
+                    frame[dest] = result.value
+                elif dest is not None:
                     frame[dest] = result
                 return next_pc
         elif arity == 3:
@@ -2072,7 +2174,9 @@ def _make_call(machine, instr, dest: int | None, slot_types, next_pc: int):
                     code_append(code_for(function))
                 result = machine_call(function, [read0(frame), read1(frame), read2(frame)],
                                       code_cell[0])
-                if dest is not None:
+                if unwrap:
+                    frame[dest] = result.value
+                elif dest is not None:
                     frame[dest] = result
                 return next_pc
         else:
@@ -2081,7 +2185,9 @@ def _make_call(machine, instr, dest: int | None, slot_types, next_pc: int):
                     code_append(code_for(function))
                 result = machine_call(function, [read(frame) for read in readers],
                                       code_cell[0])
-                if dest is not None:
+                if unwrap:
+                    frame[dest] = result.value
+                elif dest is not None:
                     frame[dest] = result
                 return next_pc
 
@@ -2096,7 +2202,9 @@ def _make_call(machine, instr, dest: int | None, slot_types, next_pc: int):
     def handler(frame):
         arguments = [reader(frame) for reader in arg_readers]
         result = intrinsic(machine, arguments, result_type)
-        if dest is not None:
+        if unwrap:
+            frame[dest] = result.value
+        elif dest is not None:
             frame[dest] = result
         return next_pc
 

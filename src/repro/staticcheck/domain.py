@@ -1,0 +1,83 @@
+"""Abstract domain of the static predictor.
+
+The walk in :mod:`repro.staticcheck.absint` analyzes *closed* generated
+programs: no inputs, a deterministic allocator, a deterministic generator.
+Every reachable machine value is therefore a **singleton** — the abstract
+domain is the concrete value lattice lifted per model, with one explicit
+top element reached by *bailing*:
+
+* an **abstract value** is a mapping ``model name -> IntVal | PtrVal``
+  whose raw halves (the integer value / the 64-bit address) agree across
+  models, while the metadata halves (bounds, tags, permissions, provenance,
+  shadow entries) are tracked per model — exactly the split the dynamic
+  machines maintain;
+* **top** is not represented as a value: any situation the walk cannot
+  mirror faithfully (an unsupported intrinsic, a per-model raw divergence,
+  an engine-level error) raises :class:`Bail`, which widens every model
+  still live straight to the ``unknown`` verdict.
+
+That shape makes the transfer functions *precise* wherever they are defined
+and *sound everywhere*: a verdict other than ``unknown`` is only emitted
+when the walk mirrored the dynamic semantics instruction by instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Bail(Exception):
+    """The walk left the domain it can mirror faithfully (abstract top).
+
+    Every model that was still live when a :class:`Bail` is raised gets the
+    ``unknown`` verdict; models that had already trapped keep their definite
+    trap outcome (the trap happened before the walk lost precision).
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ModelOutcome:
+    """The walk's final knowledge about one model.
+
+    ``kind`` is one of:
+
+    * ``"done"`` — the model ran the program to completion; the walk-level
+      channels (exit code, checkpoints, output) are its observables;
+    * ``"trap"`` — the model trapped; ``trap`` is the mirrored interpreter
+      exception (with the same structured ``cause`` the oracle reads);
+    * ``"bail"`` — the walk lost precision while this model was live; the
+      only sound verdict is ``unknown``.
+    """
+
+    kind: str
+    trap: Exception | None = None
+
+    @property
+    def trapped(self) -> bool:
+        return self.kind == "trap"
+
+
+@dataclass
+class WalkOutcome:
+    """Result of one multi-model walk over one pointer layout."""
+
+    #: per-model outcome, for every model the walk started with.
+    outcomes: dict[str, ModelOutcome] = field(default_factory=dict)
+    #: shared observables of the models that ran to completion (`None` /
+    #: empty when no model completed).  By the raw-identity invariant all
+    #: completing models of one walk share these channels.
+    exit_code: int | None = None
+    checkpoints: tuple = ()
+    output: bytes = b""
+    #: why the walk bailed, or None when it ran to an end state.
+    bail_reason: str | None = None
+    #: mirrored instruction count (the dynamic budget counter).
+    steps: int = 0
+
+    def semantic_signature(self) -> tuple:
+        """The oracle's semantic channel: (exit code, checkpoint stream)."""
+        return (self.exit_code, self.checkpoints)

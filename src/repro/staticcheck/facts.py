@@ -1,0 +1,357 @@
+"""Proven dataflow facts exported to the interpreter and the detector.
+
+Two facts are computed, both *must-properties* (a fact is only emitted when
+it is provable; absence of a fact never changes behaviour):
+
+``noprov_return`` / ``return_scalar``
+    The function provably returns a plain machine integer — an ``IntVal``
+    that is not pointer-sized, carries no provenance, and has exactly the
+    declared return type's ``(bytes, signed)`` shape — on **every** return
+    path.  Computed as a greatest fixpoint over the call graph (optimistic
+    start, demote until stable), so mutually recursive helpers like ``fib``
+    stay provable.  The exact-shape requirement is what lets the
+    interpreter unbox: a raw register slot stores the ``.value`` int and
+    re-boxes it as ``IntVal(value, bytes, signed)`` on read, which is only
+    an identity if every boxed value entering the slot already had that
+    shape.  The slot fixpoint (:mod:`repro.interp.artifact`) consumes the
+    per-call-site view, ``noprov_callees``: the callees of *this* function
+    whose results are proven clean, with their scalar shapes — module
+    functions by their proven ``return_scalar``, known intrinsics by the
+    fixed shape :mod:`repro.interp.intrinsics` boxes (module definitions
+    shadow intrinsics, exactly as dispatch does).  These facts are only
+    *used* under a model whose provenance-propagation hook is the base
+    policy (``fast_noprov``); an overridden hook may attach provenance to
+    any arithmetic result, which the proof cannot see.
+
+``safe_allocas`` / ``safe_stores``
+    Stack slots that provably (a) never hold pointer-typed or pointer-sized
+    data and (b) never escape the function: every use of the alloca'd
+    address is a scalar LOAD, a scalar STORE *through* it (address
+    position), or a derived address (GEP/PTRADD/FIELD/BITCAST) with the
+    same constraints, transitively.  Shadow-clearing models may then skip
+    per-store shadow bookkeeping for the rooted STOREs (``safe_stores``),
+    provided the allocation purges the address range once (stack addresses
+    are reused across frames).  Functions that reassign any temp are
+    skipped wholesale — the alias sets are tracked per temp index.
+
+:func:`annotate_module` attaches the facts to each ``Function`` as
+``static_facts`` and bumps the mutation counters so cached predecode
+artifacts keyed on the pre-annotation module are invalidated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.minic.ir import Const, Function, GlobalRef, Instr, Module, Opcode, Temp
+from repro.minic.typesys import IntType, PointerType
+
+
+def _is_plain_int(ctype) -> bool:
+    """A non-pointer-sized machine integer type (never carries provenance
+    when loaded, never round-trips a capability)."""
+    return isinstance(ctype, IntType) and not ctype.is_pointer_sized
+
+
+#: intrinsics whose result is always a provenance-free, non-pointer-sized
+#: ``IntVal`` of a *fixed* ``(bytes, signed)`` shape, exactly as
+#: ``repro.interp.intrinsics`` boxes them — lengths, comparisons, |x|,
+#: character/line emitters, the seeded PRNG.
+_CLEAN_INTRINSIC_SCALARS = {
+    "strlen": (8, False),
+    "strcmp": (4, True),
+    "strncmp": (4, True),
+    "memcmp": (4, True),
+    "abs": (4, True),
+    "labs": (8, True),
+    "putchar": (4, True),
+    "puts": (4, True),
+    "printf": (4, True),
+    "rand": (4, True),
+}
+
+
+@dataclass(frozen=True)
+class FunctionFacts:
+    """Proven facts about one function (see the module docstring)."""
+
+    name: str
+    #: every return path yields a provenance-free plain integer.
+    noprov_return: bool = False
+    #: proven ``(bytes, signed)`` shape of the returned ``IntVal`` when
+    #: ``noprov_return`` holds (always the declared return scalar).
+    return_scalar: tuple | None = None
+    #: sorted ``(callee, bytes, signed)`` triples for CALLs *in this
+    #: function* whose results are proven clean — the artifact layer's
+    #: module-free view of the call graph proof.
+    noprov_callees: tuple = ()
+    #: instruction indexes of ALLOCAs proven pointer-free and non-escaping.
+    safe_allocas: frozenset = frozenset()
+    #: instruction indexes of STOREs rooted at a safe alloca (shadow
+    #: clearing is a provable no-op for these).
+    safe_stores: frozenset = frozenset()
+
+
+# ---------------------------------------------------------------------------
+# noprov_return — greatest fixpoint over the call graph
+# ---------------------------------------------------------------------------
+
+
+def _producer_index(function: Function) -> dict[int, Instr] | None:
+    """temp index -> unique producing instruction, or None if any temp is
+    written twice (the per-temp analyses below assume single assignment)."""
+    producers: dict[int, Instr] = {}
+    for instr in function.instrs:
+        dest = instr.dest
+        if dest is None:
+            continue
+        if dest.index in producers:
+            return None
+        producers[dest.index] = instr
+    return producers
+
+
+def _declared_scalar(function: Function) -> tuple | None:
+    """The ``(bytes, signed)`` shape a clean return of ``function`` must
+    have, or None when the return type cannot carry a plain scalar."""
+    rtype = function.return_type
+    if not _is_plain_int(rtype):
+        return None
+    return (min(rtype.bytes, 8), rtype.signed)
+
+
+def _callee_scalar(callee, defined: dict, assumed: dict):
+    """Proven result scalar of a CALL target, or None.  Module definitions
+    shadow intrinsics, matching interpreter dispatch order."""
+    if callee in defined:
+        return assumed.get(callee)
+    return _CLEAN_INTRINSIC_SCALARS.get(callee)
+
+
+def _function_return_scalar(function: Function,
+                            producers: dict[int, Instr] | None,
+                            defined: dict,
+                            assumed: dict) -> tuple | None:
+    """The exact scalar shape every return path yields, assuming ``assumed``
+    shapes for module callees — or None.  (One greatest-fixpoint step.)
+
+    A proven shape is always the declared return scalar: RET re-boxes raw
+    slots with the *slot* type and passes boxed values through unchanged, so
+    the only shape a caller may rely on is one every return operand provably
+    carries itself.
+    """
+    declared = _declared_scalar(function)
+    if declared is None or producers is None:
+        return None
+
+    scalar_cache: dict[int, tuple | None] = {}
+
+    def operand_scalar(operand, depth: int = 0) -> tuple | None:
+        """The proven provenance-free ``(bytes, signed)`` shape of an
+        operand's runtime value, or None (dirty / unknown / too deep)."""
+        if depth > 64:
+            return None
+        if isinstance(operand, Const):
+            ctype = operand.ctype
+            if isinstance(ctype, PointerType):
+                return None
+            if isinstance(ctype, IntType):
+                if ctype.is_pointer_sized:
+                    return None
+                return (min(ctype.bytes, 8), ctype.signed)
+            # Untyped constants are boxed as default 8-byte signed ints.
+            return (8, True)
+        if isinstance(operand, GlobalRef) or not isinstance(operand, Temp):
+            return None
+        index = operand.index
+        if index in scalar_cache:
+            return scalar_cache[index]
+        # Break self-referential chains pessimistically while recursing.
+        scalar_cache[index] = None
+        producer = producers.get(index)
+        result = None if producer is None else instr_scalar(producer, depth + 1)
+        scalar_cache[index] = result
+        return result
+
+    def instr_scalar(instr: Instr, depth: int) -> tuple | None:
+        op = instr.op
+        if op is Opcode.CMP:
+            return (4, True)
+        if op is Opcode.LOAD:
+            if _is_plain_int(instr.ctype):
+                return (min(instr.ctype.bytes, 8), instr.ctype.signed)
+            return None
+        if op is Opcode.BINOP:
+            if (_is_plain_int(instr.ctype)
+                    and operand_scalar(instr.args[0], depth) is not None
+                    and operand_scalar(instr.args[1], depth) is not None):
+                return (min(instr.ctype.bytes, 8), instr.ctype.signed)
+            return None
+        if op is Opcode.UNOP:
+            return operand_scalar(instr.args[0], depth)
+        if op is Opcode.INTCAST:
+            # converted() only *touches* provenance when narrowing — a clean
+            # (provenance-free) operand is required regardless of widths.
+            if (_is_plain_int(instr.ctype)
+                    and operand_scalar(instr.args[0], depth) is not None):
+                return (min(instr.ctype.bytes, 8), instr.ctype.signed)
+            return None
+        if op is Opcode.CALL:
+            return _callee_scalar(instr.attrs.get("callee"), defined, assumed)
+        return None
+
+    saw_return = False
+    for instr in function.instrs:
+        if instr.op is not Opcode.RET:
+            continue
+        saw_return = True
+        if not instr.args or operand_scalar(instr.args[0]) != declared:
+            return None
+    return declared if saw_return else None
+
+
+def _noprov_callees(function: Function, defined: dict, assumed: dict) -> tuple:
+    """Sorted ``(callee, bytes, signed)`` triples covering every CALL in
+    ``function`` whose result is proven clean under the final fixpoint."""
+    triples = set()
+    for instr in function.instrs:
+        if instr.op is not Opcode.CALL:
+            continue
+        callee = instr.attrs.get("callee")
+        scalar = _callee_scalar(callee, defined, assumed)
+        if scalar is not None:
+            triples.add((callee, scalar[0], scalar[1]))
+    return tuple(sorted(triples))
+
+
+# ---------------------------------------------------------------------------
+# safe allocas — pointer-free, never-escaping stack slots
+# ---------------------------------------------------------------------------
+
+#: opcodes that derive a new address from an existing one (the derived
+#: address joins the alias set and inherits the same constraints).
+_DERIVE_OPS = (Opcode.GEP, Opcode.PTRADD, Opcode.FIELD, Opcode.BITCAST)
+
+
+def _operand_temps(instr: Instr):
+    for operand in instr.args:
+        if isinstance(operand, Temp):
+            yield operand.index
+
+
+def _safe_allocas(function: Function,
+                  producers: dict[int, Instr] | None) -> tuple[frozenset, frozenset]:
+    if producers is None:
+        return frozenset(), frozenset()
+    instrs = function.instrs
+    alloca_pcs = [pc for pc, instr in enumerate(instrs)
+                  if instr.op is Opcode.ALLOCA and instr.dest is not None]
+    if not alloca_pcs:
+        return frozenset(), frozenset()
+
+    safe_pcs = []
+    safe_stores: set[int] = set()
+    for pc in alloca_pcs:
+        root = instrs[pc].dest.index
+        # Grow the alias set to a fixpoint: derived addresses are aliases.
+        aliases = {root}
+        changed = True
+        while changed:
+            changed = False
+            for instr in instrs:
+                if (instr.op in _DERIVE_OPS and instr.dest is not None
+                        and instr.dest.index not in aliases
+                        and isinstance(instr.args[0], Temp)
+                        and instr.args[0].index in aliases):
+                    aliases.add(instr.dest.index)
+                    changed = True
+        stores: set[int] = set()
+        safe = True
+        for use_pc, instr in enumerate(instrs):
+            used = [index for index in _operand_temps(instr)
+                    if index in aliases]
+            if not used:
+                continue
+            op = instr.op
+            if op is Opcode.LOAD:
+                # Loading *through* the alias must read a plain scalar.
+                if not _is_plain_int(instr.ctype):
+                    safe = False
+                    break
+            elif op is Opcode.STORE:
+                # The alias may only appear as the address (args[0]); a
+                # stored alias escapes into memory.
+                value = instr.args[1] if len(instr.args) > 1 else None
+                if (isinstance(value, Temp) and value.index in aliases) \
+                        or not _is_plain_int(instr.ctype):
+                    safe = False
+                    break
+                stores.add(use_pc)
+            elif op in _DERIVE_OPS:
+                # Alias in base position extends the alias set (already
+                # fixpointed above); an alias used as a GEP *index* escapes.
+                if not (isinstance(instr.args[0], Temp)
+                        and instr.args[0].index in aliases
+                        and len(used) == 1):
+                    safe = False
+                    break
+            else:
+                # Any other use — CALL argument, RET, PTRTOINT, CMP,
+                # arithmetic, CJUMP — escapes or derives provenance.
+                safe = False
+                break
+        if safe:
+            safe_pcs.append(pc)
+            safe_stores.update(stores)
+    return frozenset(safe_pcs), frozenset(safe_stores)
+
+
+# ---------------------------------------------------------------------------
+# module-level driver
+# ---------------------------------------------------------------------------
+
+
+def compute_module_facts(module: Module) -> dict[str, FunctionFacts]:
+    """Compute :class:`FunctionFacts` for every function in ``module``."""
+    defined = module.functions
+    producers = {name: _producer_index(function)
+                 for name, function in defined.items()}
+    # Greatest fixpoint: start optimistic (every plausible function returns
+    # its declared scalar), demote functions whose returns fail under the
+    # current assumptions until stable.
+    assumed = {name: _declared_scalar(function)
+               for name, function in defined.items()}
+    for _ in range(len(defined) + 1):
+        changed = False
+        for name, function in defined.items():
+            if assumed[name] is None:
+                continue
+            if _function_return_scalar(function, producers[name], defined,
+                                       assumed) is None:
+                assumed[name] = None
+                changed = True
+        if not changed:
+            break
+    facts = {}
+    for name, function in defined.items():
+        safe_allocas, safe_stores = _safe_allocas(function, producers[name])
+        facts[name] = FunctionFacts(name=name,
+                                    noprov_return=assumed[name] is not None,
+                                    return_scalar=assumed[name],
+                                    noprov_callees=_noprov_callees(
+                                        function, defined, assumed),
+                                    safe_allocas=safe_allocas,
+                                    safe_stores=safe_stores)
+    return facts
+
+
+def annotate_module(module: Module,
+                    facts: dict[str, FunctionFacts] | None = None) -> dict[str, FunctionFacts]:
+    """Attach facts to each function (``function.static_facts``) and bump the
+    mutation counters so cached predecode artifacts are regenerated."""
+    if facts is None:
+        facts = compute_module_facts(module)
+    for name, function in module.functions.items():
+        function.static_facts = facts.get(name)
+        function.mutations += 1
+    return facts

@@ -1,0 +1,173 @@
+"""Per-program static verdict assembly in the dynamic oracle's taxonomy.
+
+:func:`predict_source` compiles a mini-C program exactly like the
+differential runner (parse once, lower per pointer layout, optimize), runs
+one multi-model :class:`~repro.staticcheck.absint.Walk` per layout, and
+assembles per-model verdicts with the same decision tree the dynamic
+oracle's ``_cell`` uses — with two deliberate differences:
+
+* a dynamic ``corrupt`` cell is predicted as ``corrupt-possible``: the walk
+  proves the semantic channels diverge, but the category name keeps the
+  static caveat visible in cross-validation reports (see
+  ``docs/staticcheck.md`` for what it does and does not promise);
+* ``unknown`` is the explicit abstract-top verdict — emitted whenever the
+  walk bailed while the model (or the baseline it is judged against) was
+  still live.  ``unknown`` is never wrong, only imprecise.
+
+The pdp11 baseline's layout is always walked, even when the baseline is not
+among the requested models, because every non-baseline verdict is relative
+to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import CompilationError
+from repro.difftest.oracle import BASELINE, CATEGORIES, trap_cause
+from repro.difftest.runner import DEFAULT_BUDGET
+from repro.interp.models import PAPER_MODEL_ORDER, get_model
+from repro.minic.irgen import compile_unit
+from repro.minic.optimizer import optimize_module
+from repro.minic.parser import parse
+
+from repro.staticcheck.absint import Walk
+from repro.staticcheck.domain import Bail, ModelOutcome, WalkOutcome
+
+#: every string :func:`predict_source` can emit.  The dynamic taxonomy minus
+#: the cells a static analysis can never produce (`corrupt` becomes the
+#: hedged `corrupt-possible`; the service-level `error:engine` /
+#: `error:timeout` quarantine cells are infrastructure outcomes), plus the
+#: abstract-top verdict `unknown`.
+PREDICTION_CATEGORIES = tuple(
+    "corrupt-possible" if category == "corrupt" else category
+    for category in CATEGORIES
+    if category not in ("error:engine", "error:timeout")
+) + ("unknown",)
+
+
+@dataclass
+class PredictionReport:
+    """A prediction plus the diagnostics cross-validation triage wants."""
+
+    #: model name -> category from :data:`PREDICTION_CATEGORIES`.
+    verdicts: dict[str, str] = field(default_factory=dict)
+    #: (pointer_bytes, pointer_align) -> why that layout's walk bailed
+    #: (only layouts that bailed appear).
+    bail_reasons: dict[tuple[int, int], str] = field(default_factory=dict)
+    #: (pointer_bytes, pointer_align) -> mirrored instruction count.
+    steps: dict[tuple[int, int], int] = field(default_factory=dict)
+
+
+def _verdict(outcome: ModelOutcome, walk: WalkOutcome,
+             base: ModelOutcome | None, base_walk: WalkOutcome | None, *,
+             is_baseline: bool) -> str:
+    """Mirror of ``oracle._cell`` over walk outcomes, with bail -> unknown."""
+    if outcome.kind == "bail":
+        return "unknown"
+    if outcome.trapped:
+        if is_baseline:
+            return "baseline-trap"
+        cause = trap_cause(outcome.trap)
+        if cause == "budget":
+            return "budget"
+        if cause == "interp":
+            return "error:interp"
+        if base is not None and base.trapped and trap_cause(base.trap) == cause:
+            return "agree-trap"
+        # Note: when the baseline *bailed* we cannot rule out `agree-trap`,
+        # but the trap itself is proven — report the definite half.
+        return f"trap:{cause}"
+    if is_baseline or base is None:
+        return "agree"
+    if base.kind == "bail":
+        return "unknown"
+    if base.trapped:
+        return "escape"
+    if walk.semantic_signature() != base_walk.semantic_signature():
+        return "corrupt-possible"
+    if walk.output != base_walk.output:
+        return "benign"
+    return "agree"
+
+
+def predict_source_report(source: str, *,
+                          models: tuple[str, ...] | None = None,
+                          budget: int = DEFAULT_BUDGET) -> PredictionReport:
+    """Predict every requested model's oracle cell for ``source``."""
+    names = tuple(models or PAPER_MODEL_ORDER)
+    unknown_names = [m for m in names if m not in PAPER_MODEL_ORDER]
+    if unknown_names:
+        raise ValueError(
+            f"unknown models: {unknown_names}; known: {PAPER_MODEL_ORDER}")
+    report = PredictionReport()
+    try:
+        unit, _ = parse(source)
+    except CompilationError:
+        report.verdicts = {name: "error:compile" for name in names}
+        return report
+
+    base_model = get_model(BASELINE)
+    base_layout = (base_model.pointer_bytes, base_model.pointer_align)
+    layouts: dict[tuple[int, int], list[str]] = {}
+    for name in names:
+        model = get_model(name)
+        layouts.setdefault((model.pointer_bytes, model.pointer_align),
+                           []).append(name)
+    # The baseline is always walked: every other verdict is relative to it.
+    baseline_group = layouts.setdefault(base_layout, [])
+    if BASELINE not in baseline_group:
+        baseline_group.append(BASELINE)
+    # Walk the baseline's layout first so its outcome is available when the
+    # other layouts' verdicts are assembled.
+    ordered = sorted(layouts, key=lambda layout: layout != base_layout)
+
+    line_count = source.count("\n") + 1
+    walks: dict[tuple[int, int], WalkOutcome | None] = {}
+    compile_failed: set[tuple[int, int]] = set()
+    for layout in ordered:
+        try:
+            module = compile_unit(unit, pointer_bytes=layout[0],
+                                  pointer_align=layout[1],
+                                  source_name="<staticcheck>",
+                                  source_line_count=line_count)
+            optimize_module(module)
+        except CompilationError:
+            compile_failed.add(layout)
+            walks[layout] = None
+            continue
+        try:
+            outcome = Walk(module, tuple(layouts[layout]),
+                           budget=budget).run()
+        except Bail as exc:
+            outcome = WalkOutcome(
+                outcomes={name: ModelOutcome("bail")
+                          for name in layouts[layout]},
+                bail_reason=exc.reason)
+        walks[layout] = outcome
+        if outcome.bail_reason is not None:
+            report.bail_reasons[layout] = outcome.bail_reason
+        report.steps[layout] = outcome.steps
+
+    base_walk = walks.get(base_layout)
+    base_outcome = (base_walk.outcomes.get(BASELINE)
+                    if base_walk is not None else None)
+    for layout, layout_names in layouts.items():
+        walk = walks[layout]
+        for name in layout_names:
+            if name not in names:
+                continue
+            if layout in compile_failed:
+                report.verdicts[name] = "error:compile"
+                continue
+            report.verdicts[name] = _verdict(
+                walk.outcomes[name], walk, base_outcome, base_walk,
+                is_baseline=name == BASELINE)
+    return report
+
+
+def predict_source(source: str, *, models: tuple[str, ...] | None = None,
+                   budget: int = DEFAULT_BUDGET) -> dict[str, str]:
+    """Per-model predicted oracle cells for ``source`` (thin wrapper around
+    :func:`predict_source_report` for callers that only want the verdicts)."""
+    return predict_source_report(source, models=models, budget=budget).verdicts

@@ -221,6 +221,51 @@ class TestDetector:
         result = analyze_source("int f(int *p){ return *p; }")
         assert result.total == 0
 
+    def test_dual_use_ptrtoint_is_order_independent(self):
+        # A ptrtoint result that is both stored unmodified AND arithmetically
+        # modified is IA, never INT — and the verdict must not depend on
+        # whether the store or the arithmetic appears first in the IR
+        # (the historical misattribution risk: first-consumer pattern
+        # matching classified whichever use it visited first).
+        store_first = """
+        long f(int *p) {
+            intptr_t v = (intptr_t)p;
+            long keep = (long)v;
+            long moved = (long)(v + 8);
+            return keep + moved;
+        }
+        """
+        arith_first = """
+        long f(int *p) {
+            intptr_t v = (intptr_t)p;
+            long moved = (long)(v + 8);
+            long keep = (long)v;
+            return keep + moved;
+        }
+        """
+        first = analyze_source(store_first)
+        second = analyze_source(arith_first)
+        for result in (first, second):
+            assert result.count(Idiom.INT) == 0
+            assert result.count(Idiom.IA) >= 1
+        assert first.counts() == second.counts()
+
+    def test_arithmetic_through_stack_slot_is_flow_sensitive(self):
+        # The arithmetic happens on a value loaded back from the local the
+        # pointer was stored into: a one-hop consumer match sees only the
+        # store (INT); the dataflow fixpoint follows the slot round trip
+        # and classifies the modification (IA).
+        source = """
+        long f(char *p) {
+            intptr_t v = (intptr_t)p;
+            v = v + 16;
+            return (long)v;
+        }
+        """
+        result = analyze_source(source)
+        assert result.count(Idiom.IA) >= 1
+        assert result.count(Idiom.INT) == 0
+
 
 class TestCorpus:
     def test_paper_table_totals_consistent(self):
