@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CI guard: disabled-telemetry overhead on the sweep fast path.
+
+The telemetry design promise is "free when off": every instrumentation
+seam the sweep pipeline crosses per program collapses to a shared no-op
+(``timed_span`` returns one shared context manager, disabled registries
+hand out shared null instruments).  This script turns that promise into a
+measured bound:
+
+1. count the seam crossings one program actually makes (by running one
+   program with a counting sink — the count is a property of the pipeline,
+   not of the clock);
+2. measure the per-crossing cost of the *disabled* seam with a tight
+   timing loop;
+3. time a real telemetry-off sweep to get the per-program baseline;
+4. assert ``crossings x per_crossing_cost < threshold%`` of the
+   per-program wall time.
+
+The computed bound is deliberately used instead of differencing two noisy
+end-to-end wall-clock runs: the disabled seam cost is nanoseconds, far
+below run-to-run sweep variance, so an A/B comparison would be all noise.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_telemetry_overhead.py --count 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.difftest.generator import generate_program  # noqa: E402
+from repro.difftest.oracle import classify_results  # noqa: E402
+from repro.difftest.runner import DifferentialRunner  # noqa: E402
+from repro.telemetry.trace import NULL_TRACER, _NOOP_SPAN, timed_span  # noqa: E402
+
+
+def count_seam_crossings(seed: int, index: int) -> int:
+    """Seam crossings (timed_span calls) one program makes in the pipeline.
+
+    Counted with a live sink: every ``timed_span`` the pipeline opens
+    reports exactly one sample, so the sample count equals the number of
+    seams the disabled path would cross for the same program (plus the two
+    worker-loop seams, generate and classify, added explicitly).
+    """
+    samples: list = []
+    runner = DifferentialRunner(stage_sink=lambda name, seconds:
+                                samples.append(name))
+    program = generate_program(seed, index)
+    result = runner.run_program(program)
+    classify_results(result)
+    return len(samples) + 2  # + stage.generate / stage.classify seams
+
+
+def disabled_seam_cost(iterations: int = 200_000) -> float:
+    """Seconds per disabled ``timed_span`` crossing (shared no-op path)."""
+    # Sanity: the disabled call must return the shared no-op, otherwise we
+    # would be measuring the wrong (enabled) path.
+    span = timed_span(NULL_TRACER, None, "stage.check")
+    if span is not _NOOP_SPAN:
+        raise AssertionError("disabled timed_span did not return the shared "
+                             "no-op span; the fast path regressed")
+    begin = time.perf_counter()
+    for _ in range(iterations):
+        with timed_span(NULL_TRACER, None, "stage.check"):
+            pass
+    elapsed = time.perf_counter() - begin
+    return elapsed / iterations
+
+
+def baseline_seconds_per_program(seed: int, count: int) -> float:
+    """Telemetry-off serial sweep wall time per program."""
+    runner = DifferentialRunner()
+    programs = [generate_program(seed, index) for index in range(count)]
+    begin = time.perf_counter()
+    for program in programs:
+        result = runner.run_program(program)
+        classify_results(result)
+    return (time.perf_counter() - begin) / count
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--count", type=int, default=40,
+                        help="programs in the baseline sweep (default 40)")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        metavar="PCT",
+                        help="maximum disabled-telemetry overhead as a "
+                             "percentage of per-program time (default 2)")
+    args = parser.parse_args(argv)
+
+    crossings = count_seam_crossings(args.seed, 0)
+    per_crossing = disabled_seam_cost()
+    per_program = baseline_seconds_per_program(args.seed, args.count)
+    overhead = crossings * per_crossing
+    percent = 100.0 * overhead / per_program
+
+    print(f"seam crossings per program:  {crossings}")
+    print(f"disabled cost per crossing:  {per_crossing * 1e9:.0f} ns")
+    print(f"baseline per-program time:   {per_program * 1e3:.2f} ms "
+          f"({args.count} programs)")
+    print(f"disabled-telemetry overhead: {overhead * 1e6:.2f} us/program "
+          f"({percent:.4f}%)")
+    if percent >= args.threshold:
+        print(f"check_telemetry_overhead: FAIL — {percent:.4f}% >= "
+              f"{args.threshold}% threshold", file=sys.stderr)
+        return 1
+    print(f"check_telemetry_overhead: OK (< {args.threshold}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

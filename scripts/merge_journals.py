@@ -34,6 +34,7 @@ from repro.common.errors import ServiceError  # noqa: E402  (sys.path setup abov
 from repro.difftest import GENERATOR_VERSION  # noqa: E402
 from repro.difftest import output as sweep_output  # noqa: E402
 from repro.difftest.merge import merge_journals  # noqa: E402
+from repro.telemetry import metrics  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,6 +48,10 @@ def main(argv: list[str] | None = None) -> int:
                              "JSON corpus (default 3; 0 disables)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
+    parser.add_argument("--stats", action="store_true",
+                        help="aggregate the shards' journal stats trailers "
+                             "(recorded by run_difftest --stats) into one "
+                             "fleet-wide telemetry summary")
     args = parser.parse_args(argv)
     say = (lambda *a, **k: None) if args.quiet else print
 
@@ -94,6 +99,16 @@ def main(argv: list[str] | None = None) -> int:
     say(f"wrote {corpus_path}")
     say("")
     say(matrix_text)
+    if args.stats:
+        combined, folded = metrics.merge_trailer_snapshots(merged.stats_trailers)
+        if folded:
+            print()
+            print(metrics.format_summary(
+                combined,
+                title=f"sweep telemetry ({folded} shard trailer(s) merged)"))
+        else:
+            say("no stats trailers in the input journals "
+                "(sweep the shards with --stats to record them)")
     return 0
 
 

@@ -55,6 +55,7 @@ from repro.difftest import output as sweep_output  # noqa: E402
 from repro.difftest.merge import merge_journals  # noqa: E402
 from repro.difftest.runner import DEFAULT_BUDGET  # noqa: E402
 from repro.interp.models import PAPER_MODEL_ORDER  # noqa: E402
+from repro.telemetry import metrics  # noqa: E402
 
 
 def _parse_host_shard(text: str) -> tuple[int, int]:
@@ -107,7 +108,25 @@ def _write_artifacts(records, out_dir, say, *, seed, count, models, budget,
     say(matrix_text)
 
 
+def _merged_stats_summary(merged, say) -> None:
+    """Aggregate per-shard stats trailers (+ this host's artifact stages)."""
+    combined, folded = metrics.merge_trailer_snapshots(
+        merged.stats_trailers, base=metrics.snapshot())
+    if not folded:
+        say("no stats trailers in the input journals "
+            "(sweep the shards with --stats to record them)")
+        return
+    print()
+    print(metrics.format_summary(
+        combined,
+        title=f"sweep telemetry ({folded} shard trailer(s) merged)"))
+
+
 def _run_merge(args, say) -> int:
+    if args.stats:
+        # Enabled so the merge host's own artifact stages (stage.reduce,
+        # stage.crossval) land in the combined report alongside the shards'.
+        metrics.configure(True)
     merged = merge_journals(args.merge)
     for recovery in merged.recoveries:
         torn = recovery["torn_index"]
@@ -137,6 +156,8 @@ def _run_merge(args, say) -> int:
                      models=tuple(header["models"]), budget=header["budget"],
                      reduce_limit=reduce_limit, crossval=args.crossval,
                      generator_version=header["generator_version"])
+    if args.stats:
+        _merged_stats_summary(merged, say)
     return 0
 
 
@@ -194,6 +215,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--merge", nargs="+", default=None, metavar="JOURNAL",
                         help="merge completed per-host shard journals into "
                              "the sweep artifacts instead of running programs")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome trace-event JSON of the sweep "
+                             "(supervisor + per-worker tracks; load at "
+                             "https://ui.perfetto.dev); never changes the "
+                             "sweep artifacts")
+    parser.add_argument("--stats", action="store_true",
+                        help="print an end-of-sweep telemetry summary (stage "
+                             "latency histograms, cache effectiveness) and "
+                             "append it to the journal as a stats trailer so "
+                             "--resume and --merge can aggregate it")
+    parser.add_argument("--status-interval", type=float, default=2.0,
+                        metavar="SEC",
+                        help="rewrite <journal>.status.json atomically every "
+                             "SEC seconds while sweeping (default 2; 0 "
+                             "disables; render with scripts/sweep_status.py)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)
 
@@ -204,7 +240,8 @@ def main(argv: list[str] | None = None) -> int:
             for flag, name in ((args.resume, "--resume"),
                                (args.inject, "--inject"),
                                (args.host_shard, "--host-shard"),
-                               (args.journal, "--journal")):
+                               (args.journal, "--journal"),
+                               (args.trace, "--trace")):
                 if flag:
                     raise ServiceError(f"--merge cannot be combined with {name}")
             return _run_merge(args, say)
@@ -242,6 +279,8 @@ def main(argv: list[str] | None = None) -> int:
             host_shard=host_shard, artifact_cache=artifact_cache,
             static_facts=args.static_facts,
             progress=progress,
+            trace_path=args.trace, collect_stats=args.stats,
+            status_interval=args.status_interval,
         )
         shard_size = len(service.shard_indices())
         say(f"sweeping {shard_size} of {args.count} programs "
@@ -267,17 +306,29 @@ def main(argv: list[str] | None = None) -> int:
         say("  service stats: " + ", ".join(f"{k}={v}"
                                             for k, v in sorted(noteworthy.items())))
 
+    if args.trace:
+        say(f"wrote trace {args.trace} (load at https://ui.perfetto.dev)")
+
     if host_shard:
         # A shard alone cannot produce the sweep artifacts (they summarize
         # all indices); its deliverable is the completed journal.
         say(f"shard journal complete: {journal_path}")
         say(f"merge all {host_shard[1]} shard journals with: "
             f"run_difftest.py --merge <journals...>")
+        if args.stats:
+            print()
+            print(metrics.format_summary(metrics.snapshot()))
         return 0
 
     _write_artifacts(records, out_dir, say, seed=args.seed, count=args.count,
                      models=models, budget=budget, reduce_limit=args.reduce,
                      crossval=args.crossval)
+    if args.stats:
+        # A fresh snapshot, not outcome.telemetry: the registry has since
+        # accumulated the artifact-build stages (stage.reduce,
+        # stage.crossval) on top of the sweep's own metrics.
+        print()
+        print(metrics.format_summary(metrics.snapshot()))
     return 0
 
 

@@ -3,7 +3,11 @@
 One sweep = one journal file.  The first line is a *header* describing the
 sweep's identity (corpus seed, program count, model list, budget, generator
 version, analysis flag); every line after it is one completed program's
-:func:`~repro.difftest.oracle.cell_record`.  The format is line-oriented
+:func:`~repro.difftest.oracle.cell_record` — except *stats trailers*
+(:data:`STATS_KIND` lines appended at session completion under ``--stats``),
+which carry telemetry snapshots and are collected separately on load so
+``--resume`` and the multi-host merge can aggregate per-shard stats without
+ever confusing them with records.  The format is line-oriented
 JSON so a torn final line — the only corruption an append-crash can produce
 — is detectable and recoverable without touching the completed records
 before it.
@@ -29,6 +33,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 
 from repro.common.errors import JournalError
@@ -37,6 +42,14 @@ from repro.common.errors import JournalError
 #: difftest journal (or is a journal from an incompatible future format).
 JOURNAL_KIND = "repro-difftest-journal"
 JOURNAL_VERSION = 1
+
+#: discriminator for stats-trailer lines: at sweep completion (with
+#: ``--stats``) the service appends one line carrying its session's
+#: telemetry snapshot, so ``--resume`` and ``merge_journals`` can aggregate
+#: per-shard stats later.  Trailers are *not* records: they carry no
+#: program index, resume may leave them mid-file (each session appends its
+#: own), and they never influence the sweep artifacts.
+STATS_KIND = "repro-difftest-stats"
 
 
 def _dump_line(payload: dict) -> bytes:
@@ -83,6 +96,10 @@ class JournalWriter:
         self.path = path
         self._handle = handle
         self._pending = 0
+        #: optional telemetry hook ``(batched_appends, flush_seconds)``
+        #: invoked after every fsync batch (repro.telemetry wiring; the
+        #: journal itself has no telemetry dependency).
+        self.on_sync = None
 
     @classmethod
     def create(cls, path: str, header: dict) -> "JournalWriter":
@@ -116,6 +133,10 @@ class JournalWriter:
         if self._pending >= self.FSYNC_EVERY:
             self._sync()
 
+    def append_stats(self, payload: dict) -> None:
+        """Append a stats-trailer line (see :data:`STATS_KIND`)."""
+        self.append({"kind": STATS_KIND, **payload})
+
     def write_raw(self, data: bytes) -> None:
         """Append raw bytes *without* a trailing newline or an fsync.
 
@@ -126,9 +147,12 @@ class JournalWriter:
         self._handle.flush()
 
     def _sync(self) -> None:
+        start = time.perf_counter() if self.on_sync is not None else 0.0
         self._handle.flush()
         os.fsync(self._handle.fileno())
-        self._pending = 0
+        batched, self._pending = self._pending, 0
+        if self.on_sync is not None:
+            self.on_sync(batched, time.perf_counter() - start)
 
     def close(self) -> None:
         if self._handle.closed:
@@ -156,6 +180,10 @@ class JournalState:
     valid_bytes: int = 0
     #: the torn bytes past ``valid_bytes`` (empty when the file is intact).
     corrupt_tail: bytes = b""
+    #: stats-trailer lines (:data:`STATS_KIND`) in file order — one per
+    #: completed session that ran with ``--stats``; a resumed sweep can
+    #: legitimately carry several.
+    stats_trailers: list = field(default_factory=list)
 
 
 def load_journal(path: str) -> JournalState:
@@ -199,6 +227,9 @@ def load_journal(path: str) -> JournalState:
     state = JournalState(header=header, valid_bytes=offset,
                          corrupt_tail=data[offset:])
     for record in parsed[1:]:
+        if record.get("kind") == STATS_KIND:
+            state.stats_trailers.append(record)
+            continue
         index = record.get("index")
         if not isinstance(index, int):
             raise JournalError(f"{path} carries a record without an integer index")

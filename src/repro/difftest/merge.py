@@ -67,6 +67,11 @@ class MergedSweep:
     recoveries: list = field(default_factory=list)
     #: input journal paths, in the order given.
     sources: list = field(default_factory=list)
+    #: stats-trailer lines collected from the inputs, each annotated with
+    #: the journal it came from (``"journal"`` key).  Trailers never affect
+    #: the merged records; ``run_difftest --merge --stats`` aggregates their
+    #: telemetry snapshots with ``metrics.merge_snapshots``.
+    stats_trailers: list = field(default_factory=list)
 
 
 def _identity(header: dict) -> dict:
@@ -217,4 +222,7 @@ def merge_journals(paths) -> MergedSweep:
         records=[merged[index] for index in range(count)],
         recoveries=recoveries,
         sources=paths,
+        stats_trailers=[dict(trailer, journal=path)
+                        for path in paths
+                        for trailer in states[path].stats_trailers],
     )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import time
 
 from repro.difftest.generator import generate_program
 from repro.difftest.oracle import (
@@ -31,6 +32,7 @@ from repro.difftest.oracle import (
 )
 from repro.difftest.reducer import reduce_program
 from repro.difftest.runner import DifferentialRunner
+from repro.telemetry import metrics
 
 #: artifact file names, shared so every entry point and test agrees on them.
 MATRIX_NAME = "table5_differential_matrix.txt"
@@ -100,10 +102,15 @@ def compute_reductions(records, *, seed: int, models, budget: int,
         if category in ("error:engine", "error:timeout"):
             continue
         program = generate_program(seed, record["index"])
+        begin = time.perf_counter()
         try:
             reduction = reduce_program(program, model, category, runner=runner)
         except ValueError:
             continue
+        # Post-sweep stage: instrumented against the module registry (null
+        # singletons when telemetry is off), never through the journal.
+        metrics.histogram("stage.reduce").observe(time.perf_counter() - begin)
+        metrics.counter("reduce.programs").inc()
         if say is not None:
             say(f"  reduced program {program.index} "
                 f"({model}={category}): {reduction.original_statements} -> "

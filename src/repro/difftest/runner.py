@@ -28,6 +28,7 @@ from repro.interp.models import PAPER_MODEL_ORDER, get_model
 from repro.minic.irgen import compile_unit
 from repro.minic.optimizer import optimize_module
 from repro.minic.parser import parse
+from repro.telemetry.trace import NULL_TRACER, timed_span
 
 #: default per-run instruction budget.  Generated programs terminate by
 #: construction well under this; the budget is the backstop that keeps a
@@ -54,7 +55,8 @@ class DifferentialRunner:
     def __init__(self, models: tuple[str, ...] | None = None, *,
                  budget: int = DEFAULT_BUDGET, analyze: bool = True,
                  collect_timing: bool = False, machine_hook=None,
-                 static_facts: bool = False) -> None:
+                 static_facts: bool = False, tracer=None,
+                 stage_sink=None) -> None:
         self.model_names = tuple(models or PAPER_MODEL_ORDER)
         #: annotate each compiled module with proven static facts
         #: (repro.staticcheck.facts) so the interpreter can unbox proven
@@ -66,6 +68,13 @@ class DifferentialRunner:
         #: freshly constructed machine before it runs — the fault-injection
         #: harness uses it to arm engine faults (difftest/faultinject.py).
         self.machine_hook = machine_hook
+        #: telemetry seams (repro.telemetry): ``tracer`` collects per-stage
+        #: Perfetto spans, ``stage_sink`` ``(name, seconds)`` samples feed
+        #: the stage-latency histograms.  Both default to off, where
+        #: :func:`~repro.telemetry.trace.timed_span` collapses to a shared
+        #: no-op context manager — sweep observables never depend on either.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stage_sink = stage_sink
         unknown = [m for m in self.model_names if m not in PAPER_MODEL_ORDER]
         if unknown:
             raise ValueError(f"unknown models: {unknown}; known: {PAPER_MODEL_ORDER}")
@@ -91,11 +100,13 @@ class DifferentialRunner:
                    source_name: str = "<difftest>") -> ProgramResult:
         """Compile ``source`` per layout and execute it under each model."""
         names = tuple(models or self.model_names)
+        tracer, sink = self.tracer, self.stage_sink
         out = ProgramResult(source=source)
         # Lexing and parsing are layout-independent: parse once, lower the
         # same AST per pointer layout (a parse failure fails every layout).
         try:
-            unit, _ = parse(source)
+            with timed_span(tracer, sink, "stage.parse"):
+                unit, _ = parse(source)
         except CompilationError as exc:
             for layout, layout_models in self._layouts().items():
                 for name in layout_models:
@@ -108,10 +119,12 @@ class DifferentialRunner:
             if not selected:
                 continue
             try:
-                module = compile_unit(unit, pointer_bytes=layout[0],
-                                      pointer_align=layout[1], source_name=source_name,
-                                      source_line_count=line_count)
-                optimize_module(module)
+                with timed_span(tracer, sink, "stage.lower",
+                                pointer_bytes=layout[0]):
+                    module = compile_unit(unit, pointer_bytes=layout[0],
+                                          pointer_align=layout[1], source_name=source_name,
+                                          source_line_count=line_count)
+                    optimize_module(module)
             except CompilationError as exc:
                 for name in selected:
                     out.compile_errors[name] = f"{type(exc).__name__}: {exc}"
@@ -122,21 +135,29 @@ class DifferentialRunner:
                 from repro.staticcheck.facts import annotate_module
                 annotate_module(module)
             if self.analyze and layout[0] == 8 and out.analysis is None:
-                out.analysis = analyze_module(module)
+                with timed_span(tracer, sink, "stage.analyze"):
+                    out.analysis = analyze_module(module)
             for name in selected:
                 # shared_blocks: every model of this layout binds the same
                 # cached predecode artifact (slot analysis, fusion, block
                 # code objects) instead of re-predecoding per machine — the
                 # sweep is compile-bound, not execution-bound.
-                machine = AbstractMachine(
-                    module, get_model(name),
-                    max_instructions=self.budget,
-                    collect_timing=self.collect_timing,
-                    shared_blocks=True,
-                )
-                if self.machine_hook is not None:
-                    self.machine_hook(machine, name)
-                result = machine.run()
+                with timed_span(tracer, sink, "stage.predecode", model=name):
+                    machine = AbstractMachine(
+                        module, get_model(name),
+                        max_instructions=self.budget,
+                        collect_timing=self.collect_timing,
+                        shared_blocks=True,
+                    )
+                    if self.machine_hook is not None:
+                        self.machine_hook(machine, name)
+                # Span and histogram are per model (stage.execute.pdp11 ...):
+                # the oracle's hot comparison is pdp11 + one checked model,
+                # so per-model latency is what tells a future lockstep PR
+                # which pair to vectorize first.
+                with timed_span(tracer, sink, f"stage.execute.{name}",
+                                model=name):
+                    result = machine.run()
                 if result.trap is not None:
                     # The oracle classifies on the trap's type, message and
                     # structured cause; the traceback would retain the whole
@@ -149,7 +170,8 @@ class DifferentialRunner:
             # Persist this program's artifacts now that every model has
             # bound them (all policy combinations are memoized); a killed
             # worker loses at most the in-flight program's entries.
-            diskcache.flush()
+            with timed_span(tracer, sink, "stage.cachestore"):
+                diskcache.flush()
         return out
 
     def run_program(self, program, *, models: tuple[str, ...] | None = None) -> ProgramResult:

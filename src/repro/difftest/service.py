@@ -58,6 +58,9 @@ from repro.difftest.journal import (
 from repro.difftest.oracle import cell_record, classify_results
 from repro.difftest.runner import DEFAULT_BUDGET, DifferentialRunner
 from repro.interp.models import PAPER_MODEL_ORDER
+from repro.telemetry import metrics
+from repro.telemetry.status import STATUS_VERSION, StatusWriter, ThroughputEMA
+from repro.telemetry.trace import NULL_TRACER, TraceBuffer, TraceWriter, timed_span
 
 #: sweep-identity header fields that must match for ``--resume`` (the rest of
 #: the header — kind/version — is checked by the journal layer itself).
@@ -74,17 +77,46 @@ class SweepOutcome:
 
     records: list = field(default_factory=list)
     stats: dict = field(default_factory=dict)
+    #: telemetry snapshot (:func:`repro.telemetry.metrics.snapshot` plus the
+    #: service stats folded in as ``service.*`` counters), or None when the
+    #: sweep ran with telemetry off.
+    telemetry: dict | None = None
+    #: structured recovery incidents (torn-tail recoveries, injected or
+    #: real) — also surfaced in the status file and the stats trailer.
+    incidents: list = field(default_factory=list)
+
+
+def _cache_counters() -> dict[str, int]:
+    """Current process's cache counters, namespaced for aggregation.
+
+    Workers snapshot this before/after every program and ship the *delta*
+    with the result, so the supervisor's totals aggregate across the fork
+    boundary instead of silently reporting the parent's zeros.
+    """
+    from repro.interp.artifact import ARTIFACTS
+    counters = {f"cache.artifact.{key}": value
+                for key, value in ARTIFACTS.stats().items()
+                if key != "entries"}
+    tier = diskcache.tier()
+    if tier is not None:
+        counters.update({f"cache.disk.{key}": value
+                         for key, value in tier.stats.items()})
+    return counters
 
 
 def _worker_main(worker_id: int, corpus_seed: int, model_names, budget: int,
                  analyze: bool, static_facts: bool, plan, cache_dir,
-                 task_q, result_q) -> None:
+                 telemetry_on: bool, trace_on: bool, task_q, result_q) -> None:
     """Worker loop: regenerate, run, classify, condense — one task at a time.
 
     Runs in a subprocess.  Tasks are ``("run", index, attempt)`` tuples;
     ``("stop",)`` ends the loop.  Every completed program answers with
-    ``("ok", index, record, engine_fallbacks)``; an in-worker failure
-    answers ``("error", index, detail)`` and keeps the worker alive.
+    ``("ok", index, record, meta)`` — ``meta`` carries the engine-fallback
+    count and, when telemetry is on, the program's stage-latency samples,
+    trace events and cache-counter deltas (the result queue is the only
+    channel worker telemetry can survive on: registries don't cross the
+    fork).  An in-worker failure answers ``("error", index, detail)`` and
+    keeps the worker alive.
     """
     if cache_dir:
         # Persistent artifact tier, shared with sibling workers and future
@@ -92,8 +124,16 @@ def _worker_main(worker_id: int, corpus_seed: int, model_names, budget: int,
         # the fork start method the parent may already have configured it;
         # reconfiguring resets only this process's pending list.
         diskcache.configure(cache_dir)
+    # Worker track ``worker_id + 1`` (the supervisor owns pid 0); the slot
+    # id is the stable identity across respawns, the OS pid is an arg.
+    tracer = (TraceBuffer(pid=worker_id + 1, tid=0) if trace_on
+              else NULL_TRACER)
+    stage_samples: list = []
+    sink = (lambda name, seconds: stage_samples.append((name, seconds))) \
+        if telemetry_on else None
     runner = DifferentialRunner(models=tuple(model_names), budget=budget,
-                                analyze=analyze, static_facts=static_facts)
+                                analyze=analyze, static_facts=static_facts,
+                                tracer=tracer, stage_sink=sink)
     # Same GC discipline as DifferentialRunner.sweep: the per-program machine
     # graphs are cyclic; reclaim them with cheap young-generation passes.
     gc.disable()
@@ -110,14 +150,29 @@ def _worker_main(worker_id: int, corpus_seed: int, model_names, budget: int,
                 cache_fault = plan.cache_fault(index, attempt)
                 if cache_fault is not None and diskcache.enabled():
                     diskcache.tier().arm_fault(cache_fault)
-            program = generate_program(corpus_seed, index)
-            program_result = runner.run_program(program)
-            classification = classify_results(program_result)
-            record = cell_record(program, program_result, classification)
-            fallbacks = sum(r.engine_fallbacks
-                            for r in program_result.results.values())
-            result_q.put(("ok", index, record, fallbacks))
+            caches_before = _cache_counters() if telemetry_on else None
+            with tracer.span("program", index=index, attempt=attempt,
+                             os_pid=os.getpid()):
+                with timed_span(tracer, sink, "stage.generate"):
+                    program = generate_program(corpus_seed, index)
+                program_result = runner.run_program(program)
+                with timed_span(tracer, sink, "stage.classify"):
+                    classification = classify_results(program_result)
+                    record = cell_record(program, program_result,
+                                         classification)
+            meta = {"fallbacks": sum(r.engine_fallbacks
+                                     for r in program_result.results.values())}
+            if telemetry_on:
+                after = _cache_counters()
+                meta["caches"] = {key: after[key] - caches_before.get(key, 0)
+                                  for key in after
+                                  if after[key] != caches_before.get(key, 0)}
+                meta["stages"], stage_samples[:] = list(stage_samples), []
+                meta["events"] = tracer.drain()
+            result_q.put(("ok", index, record, meta))
         except Exception as exc:
+            stage_samples.clear()
+            tracer.drain()
             result_q.put(("error", index, f"{type(exc).__name__}: {exc}"))
         done += 1
         if done % 4 == 0:
@@ -137,7 +192,11 @@ class SweepService:
                  host_shard: tuple[int, int] | None = None,
                  artifact_cache: str | None = None,
                  static_facts: bool = False,
-                 progress=None) -> None:
+                 progress=None,
+                 trace_path: str | None = None,
+                 collect_stats: bool = False,
+                 status_path: str | None = None,
+                 status_interval: float = 2.0) -> None:
         self.seed = seed
         self.count = count
         self.model_names = tuple(models or PAPER_MODEL_ORDER)
@@ -173,6 +232,24 @@ class SweepService:
         #: journal replays the same cells).
         self.static_facts = static_facts
         self.progress = progress
+        if status_interval < 0:
+            raise ServiceError(
+                f"--status-interval must be >= 0, got {status_interval}")
+        #: telemetry surfaces (repro.telemetry): a Perfetto trace file, the
+        #: end-of-sweep stats snapshot (+ journal trailer), and the live
+        #: status file beside the journal.  None of them touch record
+        #: content — artifacts are bit-identical on vs off by construction.
+        self.trace_path = trace_path
+        self.collect_stats = bool(collect_stats)
+        self.status_interval = status_interval
+        self.status_path = (status_path if status_path is not None
+                            else (journal_path + ".status.json"
+                                  if status_interval > 0 else None))
+        self.telemetry_on = bool(trace_path or self.collect_stats
+                                 or self.status_path)
+        #: structured recovery incidents accumulated during run().
+        self.incidents: list = []
+        self._stats_folded = False
 
     # ------------------------------------------------------------------
 
@@ -224,11 +301,13 @@ class SweepService:
                            args=(worker_id, self.seed, self.model_names,
                                  self.budget, self.analyze, self.static_facts,
                                  self.inject, self.artifact_cache,
+                                 self.telemetry_on, bool(self.trace_path),
                                  task_q, result_q),
                            daemon=True, name=f"difftest-worker-{worker_id}")
         proc.start()
         return {"proc": proc, "task_q": task_q, "result_q": result_q,
-                "current": None, "deadline": 0.0, "respawns": respawns}
+                "current": None, "deadline": 0.0, "started": 0.0,
+                "respawns": respawns}
 
     @staticmethod
     def _kill_worker(worker: dict) -> None:
@@ -251,6 +330,29 @@ class SweepService:
         stats = {"completed": 0, "resumed": 0, "retries": 0, "quarantined": 0,
                  "respawns": 0, "timeouts": 0, "worker_errors": 0,
                  "engine_fallbacks": 0, "journal_recoveries": 0}
+        # Telemetry: a fresh registry per run (before any worker forks), the
+        # supervisor's own trace track, the live status file, and the
+        # journal-flush hook.  All of it is off (no-op singletons, None
+        # writers) unless the sweep opted in.
+        registry = metrics.configure(self.telemetry_on)
+        self.incidents = []
+        self._stats_folded = False
+        sup_tracer = TraceBuffer(pid=0, tid=0) if self.trace_path else NULL_TRACER
+        trace_writer = TraceWriter(self.trace_path) if self.trace_path else None
+        ema = ThroughputEMA()
+        status = (StatusWriter(self.status_path, interval=self.status_interval
+                               or 2.0)
+                  if self.status_path else None)
+        flush_hist = registry.histogram("journal.flush_seconds")
+        fsync_counter = registry.counter("journal.fsync_batches")
+        synced_counter = registry.counter("journal.records_synced")
+
+        def on_sync(batched: int, seconds: float) -> None:
+            fsync_counter.inc()
+            synced_counter.inc(batched)
+            flush_hist.observe(seconds)
+
+        journal_hook = on_sync if self.telemetry_on else None
         completed: dict[int, dict] = {}
         if resume:
             if not os.path.exists(self.journal_path):
@@ -262,13 +364,14 @@ class SweepService:
                 # detail for an operator to audit the journal afterwards.
                 truncate_to(self.journal_path, state.valid_bytes)
                 stats["journal_recoveries"] += 1
-                self._report_torn_tail(state)
+                self._report_torn_tail(state, registry, sup_tracer)
             completed = {index: record for index, record in state.records.items()
                          if index in shard_set}
             stats["resumed"] = len(completed)
             writer = JournalWriter.append_to(self.journal_path)
         else:
             writer = JournalWriter.create(self.journal_path, header)
+        writer.on_sync = journal_hook
 
         pending = deque(index for index in shard
                         if index not in completed)
@@ -299,7 +402,17 @@ class SweepService:
                 state = load_journal(self.journal_path)
                 truncate_to(self.journal_path, state.valid_bytes)
                 writer = JournalWriter.append_to(self.journal_path)
+                writer.on_sync = journal_hook
                 stats["journal_recoveries"] += 1
+                self._record_incident(registry, sup_tracer, {
+                    "type": "torn_tail_recovery",
+                    "journal": self.journal_path,
+                    "valid_bytes": state.valid_bytes,
+                    "dropped_bytes": len(state.corrupt_tail),
+                    "torn_index": None,
+                    "injected": True,
+                })
+            ema.update(len(completed))
             if self.progress is not None:
                 self.progress(len(completed), target)
 
@@ -313,6 +426,16 @@ class SweepService:
                 stats["retries"] += 1
                 pending.appendleft(index)
 
+        def absorb_meta(meta: dict) -> None:
+            stats["engine_fallbacks"] += meta["fallbacks"]
+            if not self.telemetry_on:
+                return
+            registry.absorb(meta.get("caches") or {})
+            for name, seconds in meta.get("stages") or ():
+                registry.histogram(name).observe(seconds)
+            if trace_writer is not None:
+                trace_writer.add_events(meta.get("events") or ())
+
         def drain(worker: dict) -> bool:
             result_q = worker["result_q"]
             try:
@@ -322,8 +445,8 @@ class SweepService:
             except (EOFError, OSError):
                 return False
             if message[0] == "ok":
-                _, index, record, fallbacks = message
-                stats["engine_fallbacks"] += fallbacks
+                _, index, record, meta = message
+                absorb_meta(meta)
                 record_done(index, record)
             else:
                 _, index, detail = message
@@ -332,6 +455,53 @@ class SweepService:
             if current is not None and current[0] == message[1]:
                 worker["current"] = None
             return True
+
+        start_time = time.monotonic()
+
+        def build_status() -> dict:
+            now = time.monotonic()
+            # A program is a straggler once it has been in flight for 5x the
+            # fleet's mean per-program wall time (and at least 2 seconds) —
+            # the EMA makes the threshold track the workload, not a config.
+            mean_program = (self.jobs / ema.rate) if ema.rate else None
+            straggler_after = (max(5.0 * mean_program, 2.0)
+                               if mean_program else float("inf"))
+            workers_info = {}
+            for worker_id, worker in workers.items():
+                current = worker["current"]
+                busy = (now - worker["started"]) if current else 0.0
+                workers_info[str(worker_id)] = {
+                    "alive": worker["proc"].is_alive(),
+                    "os_pid": worker["proc"].pid,
+                    "current_index": current[0] if current else None,
+                    "busy_seconds": round(busy, 3),
+                    "respawns": worker["respawns"],
+                    "straggler": bool(current and busy > straggler_after),
+                }
+            cache = {name[len("cache."):]: value
+                     for name, value in registry.counter_values("cache.").items()}
+            done = len(completed) >= target
+            return {
+                "version": STATUS_VERSION,
+                "journal": self.journal_path,
+                "seed": self.seed,
+                "count": self.count,
+                "host_shard": list(self.host_shard) if self.host_shard else None,
+                "target": target,
+                "completed": len(completed),
+                "resumed": stats["resumed"],
+                "pending": len(pending),
+                "elapsed_seconds": round(now - start_time, 3),
+                "throughput_programs_per_s": (round(ema.rate, 3)
+                                              if ema.rate is not None else None),
+                "eta_seconds": (round(eta, 1) if (eta := ema.eta_seconds(
+                    target - len(completed))) is not None else None),
+                "workers": workers_info,
+                "cache": cache,
+                "counters": dict(stats),
+                "recoveries": list(self.incidents),
+                "done": done,
+            }
 
         try:
             if pending:
@@ -372,8 +542,12 @@ class SweepService:
                         attempt = attempts.get(index, 0)
                         worker["task_q"].put(("run", index, attempt))
                         worker["current"] = (index, attempt)
-                        worker["deadline"] = time.monotonic() + self.timeout
+                        now = time.monotonic()
+                        worker["deadline"] = now + self.timeout
+                        worker["started"] = now
                         progressed = True
+                if status is not None:
+                    status.maybe_write(build_status)
                 if not progressed:
                     if not pending and all(w["current"] is None
                                            for w in workers.values()):
@@ -382,6 +556,11 @@ class SweepService:
                             f"sweep stalled with no work in flight; missing "
                             f"indices {missing[:8]}")
                     time.sleep(self.POLL_SECONDS)
+            # Sweep complete: persist this session's telemetry as a journal
+            # stats trailer so --resume and merge_journals can aggregate
+            # per-shard stats later (records and artifacts are unaffected).
+            if self.collect_stats:
+                writer.append_stats(self._stats_payload(stats, registry))
         finally:
             for worker in workers.values():
                 if worker["proc"].is_alive() and worker["current"] is None:
@@ -394,22 +573,84 @@ class SweepService:
                 worker["proc"].join(max(0.0, deadline - time.monotonic()))
                 self._kill_worker(worker)
             writer.close()
+            if status is not None:
+                status.maybe_write(build_status, force=True)
+            if trace_writer is not None:
+                trace_writer.set_process_name(0, "difftest-supervisor")
+                for worker_id in workers:
+                    trace_writer.set_process_name(worker_id + 1,
+                                                  f"difftest-worker-{worker_id}")
+                trace_writer.add_events(sup_tracer.drain())
+                trace_writer.close()
 
+        telemetry = None
+        if self.telemetry_on:
+            # Fold the service stats in as counters so one snapshot carries
+            # everything the summary report and the stats trailer need.
+            telemetry = self._fold_stats(stats, registry)
         return SweepOutcome(
             records=[completed[index] for index in shard],
             stats=stats,
+            telemetry=telemetry,
+            incidents=list(self.incidents),
         )
 
-    def _report_torn_tail(self, state) -> None:
-        """Distinguish a crash recovery from a clean resume, on stderr."""
+    def _report_torn_tail(self, state, registry, sup_tracer) -> None:
+        """Distinguish a crash recovery from a clean resume.
+
+        The human-readable stderr line is kept, but the recovery is now a
+        structured incident too: a ``journal.torn_tail_recoveries`` counter,
+        an entry in :attr:`incidents` (surfaced in the status file, the
+        ``--stats`` trailer and :class:`SweepOutcome`), and a trace instant
+        on the supervisor track.
+        """
         match = re.search(rb'"index"\s*:\s*(-?\d+)', state.corrupt_tail)
-        torn_index = match.group(1).decode("ascii") if match else "unknown"
+        torn_index = int(match.group(1)) if match else None
+        self._record_incident(registry, sup_tracer, {
+            "type": "torn_tail_recovery",
+            "journal": self.journal_path,
+            "valid_bytes": state.valid_bytes,
+            "dropped_bytes": len(state.corrupt_tail),
+            "torn_index": torn_index,
+            "injected": False,
+        })
         sys.stderr.write(
             f"run_difftest: --resume recovered a torn tail in journal "
             f"{self.journal_path}: truncated to byte offset "
             f"{state.valid_bytes}, dropping {len(state.corrupt_tail)} "
-            f"corrupt trailing byte(s); program index {torn_index} "
+            f"corrupt trailing byte(s); program index "
+            f"{torn_index if torn_index is not None else 'unknown'} "
             f"will be re-run\n")
+
+    def _record_incident(self, registry, sup_tracer, incident: dict) -> None:
+        """File one structured recovery incident with every telemetry surface."""
+        self.incidents.append(incident)
+        registry.counter("journal.torn_tail_recoveries").inc()
+        sup_tracer.instant(incident["type"], cat="recovery",
+                           **{key: value for key, value in incident.items()
+                              if key != "type"})
+
+    def _fold_stats(self, stats: dict, registry) -> dict:
+        """Fold service stats into the registry as ``service.*`` counters
+        (once per run) and return a fresh snapshot.  The stats trailer and
+        the outcome each take their own snapshot: the outcome's is later and
+        additionally sees the journal's close-time fsync."""
+        if not self._stats_folded:
+            self._stats_folded = True
+            for key, value in stats.items():
+                if value:
+                    registry.counter(f"service.{key}").inc(value)
+        return registry.snapshot()
+
+    def _stats_payload(self, stats: dict, registry) -> dict:
+        """The journal stats-trailer body (``journal.STATS_KIND`` line)."""
+        return {
+            "version": 1,
+            "host_shard": list(self.host_shard) if self.host_shard else None,
+            "service": dict(stats),
+            "metrics": self._fold_stats(stats, registry),
+            "incidents": list(self.incidents),
+        }
 
     def _respawn(self, ctx, worker_id: int, dead_worker: dict, stats: dict) -> dict:
         respawns = dead_worker["respawns"] + 1

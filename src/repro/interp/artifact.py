@@ -842,13 +842,14 @@ CACHE_LIMIT = 512
 class ArtifactCache:
     """Process-level LRU of :class:`PredecodeArtifact` keyed by function."""
 
-    __slots__ = ("entries", "maxsize", "hits", "misses")
+    __slots__ = ("entries", "maxsize", "hits", "misses", "evictions")
 
     def __init__(self, maxsize: int = CACHE_LIMIT) -> None:
         self.entries: OrderedDict[tuple, PredecodeArtifact] = OrderedDict()
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, function: Function, ctx) -> PredecodeArtifact:
         """The artifact for ``function`` under ``ctx``'s pointer layout.
@@ -878,16 +879,18 @@ class ArtifactCache:
         self.entries.move_to_end(key)
         while len(self.entries) > self.maxsize:
             self.entries.popitem(last=False)
+            self.evictions += 1
         return artifact
 
     def clear(self) -> None:
         self.entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self.entries)}
+                "evictions": self.evictions, "entries": len(self.entries)}
 
 
 #: the process-level artifact cache every machine compiles through.

@@ -25,11 +25,14 @@ appear in the matrix but are excluded from the match and soundness metrics.
 
 from __future__ import annotations
 
+import time
+
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.difftest.generator import generate_program
 from repro.staticcheck.predict import PREDICTION_CATEGORIES, predict_source
+from repro.telemetry import metrics
 
 #: canonical artifact name (mirrors output.MATRIX_NAME / CORPUS_NAME).
 CROSSVAL_NAME = "staticcheck_crossval.txt"
@@ -60,10 +63,15 @@ def annotate_records(records, *, seed: int, models, budget: int,
     reducer does — records carry no sources by design.
     """
     models = tuple(models)
+    hist = metrics.histogram("stage.crossval")
+    predicted_counter = metrics.counter("crossval.programs")
     for position, record in enumerate(records):
         program = generate_program(seed, record["index"])
+        begin = time.perf_counter()
         record["static_prediction"] = predict_source(
             program.source, models=models, budget=budget)
+        hist.observe(time.perf_counter() - begin)
+        predicted_counter.inc()
         if say is not None and (position + 1) % 100 == 0:
             say(f"  statically predicted {position + 1}/{len(records)} programs")
 

@@ -1,0 +1,190 @@
+"""Span tracing in Chrome trace-event JSON, loadable in Perfetto.
+
+``run_difftest --trace FILE`` writes one JSON object::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms"}
+
+whose events follow the Chrome trace-event format: complete spans
+(``ph: "X"`` with microsecond ``ts``/``dur``), instants (``ph: "i"``) for
+incidents like torn-tail recoveries, and metadata (``ph: "M"``) naming the
+tracks.  Load the file at https://ui.perfetto.dev (or chrome://tracing).
+
+Track layout: the supervisor is pid 0; worker ``i`` is pid ``i + 1`` (its
+real OS pid is recorded as a track argument — worker slots survive
+respawns, so the slot id is the stable identity).  Every program becomes a
+``program`` span on its worker's track with the per-stage spans
+(``stage.parse``, ``stage.execute`` ...) nested inside.
+
+Clock and determinism: spans are stamped from ``time.monotonic_ns`` —
+comparable across processes on the same host (CLOCK_MONOTONIC is
+system-wide on Linux), immune to wall-clock steps, and **never written
+anywhere near the sweep records**: events travel supervisor-ward in their
+own channel and land only in the trace file, which is why artifacts are
+bit-identical trace-on vs trace-off.
+
+:func:`timed_span` is the one instrumentation primitive the pipeline uses:
+it feeds the same measured duration to a trace buffer (for Perfetto) and a
+sink callable (for the stage-latency histograms), and collapses to a
+shared no-op context manager when both are off — the disabled cost is one
+identity check, guarded by ``scripts/check_telemetry_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+
+class _Span:
+    """Context manager emitting one complete event and/or one sink sample."""
+
+    __slots__ = ("buffer", "sink", "name", "cat", "args", "start")
+
+    def __init__(self, buffer, sink, name: str, cat: str, args) -> None:
+        self.buffer = buffer
+        self.sink = sink
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.start = 0
+
+    def __enter__(self) -> "_Span":
+        self.start = time.monotonic_ns()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        end = time.monotonic_ns()
+        buffer = self.buffer
+        if buffer is not None:
+            event = {
+                "name": self.name,
+                "cat": self.cat,
+                "ph": "X",
+                "ts": self.start // 1000,
+                "dur": (end - self.start) // 1000,
+                "pid": buffer.pid,
+                "tid": buffer.tid,
+            }
+            if self.args:
+                event["args"] = self.args
+            buffer.events.append(event)
+        if self.sink is not None:
+            self.sink(self.name, (end - self.start) / 1e9)
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager: the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class TraceBuffer:
+    """Per-process span collector bound to one (pid, tid) track."""
+
+    __slots__ = ("pid", "tid", "events")
+
+    def __init__(self, pid: int = 0, tid: int = 0) -> None:
+        self.pid = pid
+        self.tid = tid
+        self.events: list[dict] = []
+
+    def span(self, name: str, cat: str = "sweep", **args) -> _Span:
+        return _Span(self, None, name, cat, args or None)
+
+    def instant(self, name: str, cat: str = "sweep", **args) -> None:
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": time.monotonic_ns() // 1000,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def drain(self) -> list[dict]:
+        """Hand off (and forget) everything collected so far."""
+        events, self.events = self.events, []
+        return events
+
+
+class _NullTracer:
+    """Trace-off stand-in: same surface as :class:`TraceBuffer`, all no-op."""
+
+    __slots__ = ()
+    pid = 0
+    tid = 0
+
+    def span(self, name: str, cat: str = "sweep", **args) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def instant(self, name: str, cat: str = "sweep", **args) -> None:
+        pass
+
+    def drain(self) -> list:
+        return []
+
+
+NULL_TRACER = _NullTracer()
+
+
+def timed_span(tracer, sink, name: str, cat: str = "sweep", **args):
+    """Span + histogram sample in one: the pipeline's instrumentation seam.
+
+    ``tracer`` is a :class:`TraceBuffer` or :data:`NULL_TRACER`; ``sink``
+    is ``None`` or a callable ``(name, seconds)``.  With both off this
+    returns a shared no-op context manager — no allocation, no clock read.
+    """
+    if sink is None and tracer is NULL_TRACER:
+        return _NOOP_SPAN
+    return _Span(tracer if tracer is not NULL_TRACER else None,
+                 sink, name, cat, args or None)
+
+
+class TraceWriter:
+    """Supervisor-side accumulator that writes the final trace file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.events: list[dict] = []
+
+    def add_events(self, events) -> None:
+        self.events.extend(events)
+
+    def set_process_name(self, pid: int, name: str, **args) -> None:
+        """Metadata event labeling a track in the Perfetto UI."""
+        self.events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": dict(args, name=name),
+        })
+
+    def close(self) -> str:
+        """Write the trace file (atomic rename) and return its path."""
+        document = {
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+        }
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+        return self.path

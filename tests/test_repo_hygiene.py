@@ -52,7 +52,8 @@ def test_gitignore_covers_caches():
     for pattern in ("__pycache__/", "*.pyc", ".pytest_cache/",
                     ".hypothesis/", ".benchmarks/",
                     "difftest_journal*.jsonl", "*.journal.jsonl",
-                    "artifact-cache*/", "*.artifact-cache/", "*.art"):
+                    "artifact-cache*/", "*.artifact-cache/", "*.art",
+                    "*.status.json"):
         assert pattern in gitignore, f".gitignore lost the {pattern!r} entry"
 
 
