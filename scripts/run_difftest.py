@@ -184,6 +184,13 @@ def main(argv: list[str] | None = None) -> int:
                              "unboxes proven call results and skips provably "
                              "dead shadow bookkeeping; observationally "
                              "identical, faster")
+    parser.add_argument("--lockstep", choices=("pairs", "all"), default=None,
+                        help="batched lockstep execution (repro.interp."
+                             "lockstep): run each pointer layout's models as "
+                             "2-lane groups ('pairs') or one N-lane group "
+                             "('all') stepping the shared superinstruction "
+                             "stream together; observationally identical to "
+                             "the serial engine, faster")
     parser.add_argument("--out-dir", default=None,
                         help="output directory (default: <repo>/results)")
     parser.add_argument("--jobs", type=int, default=1,
@@ -278,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
             inject=inject, journal_path=str(journal_path),
             host_shard=host_shard, artifact_cache=artifact_cache,
             static_facts=args.static_facts,
+            lockstep=args.lockstep,
             progress=progress,
             trace_path=args.trace, collect_stats=args.stats,
             status_interval=args.status_interval,
@@ -289,6 +297,7 @@ def main(argv: list[str] | None = None) -> int:
             + (f", host shard {host_shard[0]}/{host_shard[1]}"
                if host_shard else "")
             + (f", artifact cache {artifact_cache}" if artifact_cache else "")
+            + (f", lockstep {args.lockstep}" if args.lockstep else "")
             + (", resuming" if args.resume else ""))
         outcome = service.run(resume=args.resume)
     except ServiceError as exc:

@@ -87,13 +87,18 @@ class SweepOutcome:
 
 
 def _cache_counters() -> dict[str, int]:
-    """Current process's cache counters, namespaced for aggregation.
+    """Current process's cache + lockstep counters, namespaced for aggregation.
 
     Workers snapshot this before/after every program and ship the *delta*
     with the result, so the supervisor's totals aggregate across the fork
-    boundary instead of silently reporting the parent's zeros.
+    boundary instead of silently reporting the parent's zeros.  The lockstep
+    engine's lane/round/divergence counters ride along: they live in the
+    worker's metrics registry, which never crosses the fork either.  (The
+    lane-occupancy *histogram* stays worker-local; its mean survives as
+    ``lockstep.occupied_lane_rounds / lockstep.rounds``.)
     """
     from repro.interp.artifact import ARTIFACTS
+    from repro.telemetry import metrics
     counters = {f"cache.artifact.{key}": value
                 for key, value in ARTIFACTS.stats().items()
                 if key != "entries"}
@@ -101,11 +106,12 @@ def _cache_counters() -> dict[str, int]:
     if tier is not None:
         counters.update({f"cache.disk.{key}": value
                          for key, value in tier.stats.items()})
+    counters.update(metrics.registry().counter_values("lockstep."))
     return counters
 
 
 def _worker_main(worker_id: int, corpus_seed: int, model_names, budget: int,
-                 analyze: bool, static_facts: bool, plan, cache_dir,
+                 analyze: bool, static_facts: bool, lockstep, plan, cache_dir,
                  telemetry_on: bool, trace_on: bool, task_q, result_q) -> None:
     """Worker loop: regenerate, run, classify, condense — one task at a time.
 
@@ -133,7 +139,8 @@ def _worker_main(worker_id: int, corpus_seed: int, model_names, budget: int,
         if telemetry_on else None
     runner = DifferentialRunner(models=tuple(model_names), budget=budget,
                                 analyze=analyze, static_facts=static_facts,
-                                tracer=tracer, stage_sink=sink)
+                                lockstep=lockstep, tracer=tracer,
+                                stage_sink=sink)
     # Same GC discipline as DifferentialRunner.sweep: the per-program machine
     # graphs are cyclic; reclaim them with cheap young-generation passes.
     gc.disable()
@@ -192,6 +199,7 @@ class SweepService:
                  host_shard: tuple[int, int] | None = None,
                  artifact_cache: str | None = None,
                  static_facts: bool = False,
+                 lockstep: str | None = None,
                  progress=None,
                  trace_path: str | None = None,
                  collect_stats: bool = False,
@@ -231,6 +239,15 @@ class SweepService:
         #: journal's sweep identity — a facts-on resume of a facts-off
         #: journal replays the same cells).
         self.static_facts = static_facts
+        #: batched lockstep execution per pointer layout (None, "pairs" or
+        #: "all"; repro.interp.lockstep).  Like static_facts, pinned
+        #: observationally identical to the serial engine, so NOT part of
+        #: the journal's sweep identity — a lockstep resume of a serial
+        #: journal (or vice versa) replays the same cells.
+        if lockstep not in (None, "pairs", "all"):
+            raise ServiceError(
+                f"--lockstep must be 'pairs' or 'all', got {lockstep!r}")
+        self.lockstep = lockstep
         self.progress = progress
         if status_interval < 0:
             raise ServiceError(
@@ -300,7 +317,7 @@ class SweepService:
         proc = ctx.Process(target=_worker_main,
                            args=(worker_id, self.seed, self.model_names,
                                  self.budget, self.analyze, self.static_facts,
-                                 self.inject, self.artifact_cache,
+                                 self.lockstep, self.inject, self.artifact_cache,
                                  self.telemetry_on, bool(self.trace_path),
                                  task_q, result_q),
                            daemon=True, name=f"difftest-worker-{worker_id}")

@@ -729,9 +729,9 @@ class PredecodeArtifact:
     """Everything about one IR function derivable from IR + pointer layout."""
 
     __slots__ = ("function", "ctx", "instrs", "ninstrs", "mutations",
-                 "labels", "use_counts", "nregs", "nallocas", "scratch",
-                 "shadow_flag", "_slot_types", "_fusions", "_plans",
-                 "_arg_raws", "fingerprint", "disk_snapshot")
+                 "labels", "sync_pcs", "use_counts", "nregs", "nallocas",
+                 "scratch", "shadow_flag", "_slot_types", "_fusions",
+                 "_plans", "_arg_raws", "fingerprint", "disk_snapshot")
 
     def __init__(self, function: Function, ctx) -> None:
         self.function = function
@@ -746,6 +746,27 @@ class PredecodeArtifact:
         self.ninstrs = len(function.instrs)
         self.mutations = function.mutations
         self.labels = function.label_index()
+        #: lane-rejoin boundaries for the lockstep engine
+        #: (repro.interp.lockstep): the label pcs targeted by a *backward*
+        #: branch (loop heads).  Model-independent decode fact, so it lives
+        #: here.  Any label pc would be sound — labels are the only branch
+        #: targets and a superinstruction never spans one, so pausing lanes
+        #: there can never split a block dispatch — but forward-join labels
+        #: (if/else joins) are so dense that pausing at each one costs more
+        #: scheduler round-trips than the reconvergence is worth; diverged
+        #: lanes rejoin at the next loop head (or completion) instead.
+        sync = set()
+        for pc, instr in enumerate(function.instrs):
+            if instr.op is Opcode.JUMP:
+                target = self.labels[instr.attrs["target"]]
+                if target <= pc:
+                    sync.add(target)
+            elif instr.op is Opcode.CJUMP:
+                for key in ("then", "else"):
+                    target = self.labels[instr.attrs[key]]
+                    if target <= pc:
+                        sync.add(target)
+        self.sync_pcs = tuple(sorted(sync))
         max_temp = -1
         nallocas = 0
         use_counts: dict[int, int] = {}

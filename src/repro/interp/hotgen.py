@@ -451,16 +451,38 @@ def block_code(source: str, tag: str):
     return code
 
 
+#: code object -> its exec'd ``make``.  A block's generated module body is a
+#: single ``def`` and ``make`` only *reads* its globals, so one namespace per
+#: code object is safe to share across machines; rebinding the same plan for
+#: another machine (or another lockstep lane) is then a dict hit plus one
+#: ``make(bindings)`` call, with no per-bind ``exec`` at all.
+_BLOCK_MAKES: dict = {}
+
+
+def block_maker(code):
+    """The ``make(B)`` factory for a compiled block, exec'd once per process."""
+    make = _BLOCK_MAKES.get(code)
+    if make is None:
+        namespace = dict(_GLOBALS)
+        exec(code, namespace)
+        make = _BLOCK_MAKES[code] = namespace["make"]
+    return make
+
+
 def bind_block(code, bindings: dict):
     """Instantiate a block handler from a compiled ``make(B)`` code object.
 
     This is the whole per-machine cost of a shared superinstruction: one
-    ``exec`` of an already-compiled code object plus a closure construction
-    over the per-machine ``bindings``.
+    memoized :func:`block_maker` lookup plus a closure construction over the
+    per-machine ``bindings``.
     """
-    namespace = dict(_GLOBALS)
-    exec(code, namespace)
-    return namespace["make"](bindings)
+    return block_maker(code)(bindings)
+
+
+def bind_block_multi(code, bindings_list: list) -> list:
+    """Bind one block plan for several machines (lockstep lanes) in one pass."""
+    make = block_maker(code)
+    return [make(bindings) for bindings in bindings_list]
 
 
 def compile_block(body_lines: list, bindings: dict, tag: str):

@@ -98,6 +98,31 @@ class ExecutionResult:
         return self.output.decode("latin-1")
 
 
+def scrub_trap(exc: BaseException | None) -> None:
+    """Drop every traceback reachable from a surfaced trap.
+
+    A trap raised with ``raise ... from None`` (or while another exception
+    was being handled) still carries the original exception in
+    ``__context__`` — and *that* exception's traceback retains every
+    interpreter frame it unwound through, each of which references handlers
+    and therefore the whole machine graph.  Clearing only
+    ``exc.__traceback__`` (the PR 5 fix) leaves the chained frames alive, so
+    this walks ``__cause__``/``__context__`` and clears them all.  The chain
+    links themselves are kept: the oracle classifies on the trap's type,
+    message and structured cause.
+    """
+    stack = [exc]
+    seen: set[int] = set()
+    while stack:
+        err = stack.pop()
+        if err is None or id(err) in seen:
+            continue
+        seen.add(id(err))
+        err.__traceback__ = None
+        stack.append(err.__cause__)
+        stack.append(err.__context__)
+
+
 class AbstractMachine:
     """Executes IR modules under a pluggable memory model."""
 
@@ -105,7 +130,7 @@ class AbstractMachine:
                  "hierarchy", "shadow", "globals", "output", "checkpoints",
                  "rng", "instructions", "cycles", "memory_accesses",
                  "max_instructions", "collect_timing", "shared_blocks",
-                 "_call_depth", "_code_cache", "_ptr_load_memo",
+                 "lazy_binding", "_call_depth", "_code_cache", "_ptr_load_memo",
                  "_clear_shadow", "block_profile", "_engine_fault",
                  "engine_faults")
 
@@ -118,6 +143,7 @@ class AbstractMachine:
         max_instructions: int = 50_000_000,
         collect_timing: bool = True,
         shared_blocks: bool = False,
+        lazy_binding: bool = False,
     ) -> None:
         self.module = module
         self.model = get_model(model) if isinstance(model, str) else model
@@ -151,6 +177,13 @@ class AbstractMachine:
         #: differential runner uses for its 7-model replay).  Observables are
         #: identical either way (tests/test_predecode_cache.py).
         self.shared_blocks = shared_blocks
+        #: defer per-pc handler binding until a pc first executes (requires
+        #: shared_blocks; see CompiledFunction.materialize).  Observationally
+        #: invisible — dispatch charges before the thunk runs — but binding
+        #: cost becomes proportional to the pcs actually reached, which is
+        #: what makes the lockstep sweep engine pay compile cost ~once per
+        #: reached pc instead of once per (pc × lane).
+        self.lazy_binding = lazy_binding
         self._call_depth = 0
         #: predecoded per-function code, keyed by the function's identity.
         self._code_cache: dict[int, CompiledFunction] = {}
@@ -593,6 +626,11 @@ class AbstractMachine:
                     raise
                 self.instructions -= 1
                 self.cycles -= cost
+                # The demoted exception is swallowed here, but its traceback
+                # would otherwise pin every frame it passed through (and so
+                # the machine graph) for as long as engine_faults-adjacent
+                # state lives; the runner's scrub only sees surfaced traps.
+                exc.__traceback__ = None
                 paired[pc] = fallback
                 self.engine_faults.append((function.name, pc, type(exc).__name__))
         result = frame[2]

@@ -99,6 +99,8 @@ not round-trip Python's allocator for the register file or the alloca list.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.common.errors import InterpreterError, UndefinedBehaviorError
 from repro.interp.artifact import (
     BINOP_EXPR as _BINOP_EXPR,
@@ -175,7 +177,8 @@ class CompiledFunction:
 
     __slots__ = ("function", "paired", "size", "nregs", "nallocas",
                  "frame_proto", "pool", "alloca_proto", "blocks",
-                 "block_fallbacks", "pending_blocks", "calls")
+                 "block_fallbacks", "pending_blocks", "calls",
+                 "builder", "built")
 
     def __init__(self, function: Function, handlers: list, costs: list,
                  nregs: int, nallocas: int) -> None:
@@ -202,6 +205,42 @@ class CompiledFunction:
         #: None once installed (or when blocks are bound eagerly/disabled).
         self.pending_blocks = None
         self.calls = 0
+        #: lazy-binding support (machines constructed with
+        #: ``lazy_binding=True``): ``builder(index) -> (handler, cost, desc)``
+        #: builds the real closure for one pc, ``built`` memoizes the
+        #: handlers already materialized.  Both stay ``None`` on eagerly
+        #: bound machines.
+        self.builder = None
+        self.built: dict[int, object] | None = None
+
+    def materialize(self, index: int):
+        """The real handler for pc ``index``, built and patched on first use.
+
+        Lazy-binding machines fill ``paired`` with cheap dispatch thunks
+        (:func:`_lazy_step`) and only pay for a pc's closure when it first
+        executes — or when a shared-block install needs it as an ``h<k>``
+        binding.  Building has no machine-observable effect and the dispatch
+        loop charges count/cycles *before* invoking the thunk, so laziness is
+        invisible to counters, traps and the budget (pinned by
+        ``tests/test_lockstep.py``).  If ``index`` is currently a demoted
+        block's leader the single-step fallback tuple is patched instead of
+        ``paired`` (whose entry is the installed block handler).
+        """
+        built = self.built
+        handler = built.get(index)
+        if handler is None:
+            handler = built[index] = self.builder(index)[0]
+            entry = self.block_fallbacks.get(index)
+            if entry is not None:
+                self.block_fallbacks[index] = (handler, entry[1])
+            else:
+                self.paired[index] = (handler, self.paired[index][1])
+        return handler
+
+
+def _lazy_step(code: CompiledFunction, index: int, frame):
+    """Dispatch thunk installed at every not-yet-built pc of a lazy machine."""
+    return code.materialize(index)(frame)
 
 
 # ---------------------------------------------------------------------------
@@ -785,15 +824,22 @@ def compile_function(machine, function: Function) -> CompiledFunction:
     # Main compilation loop
     # ------------------------------------------------------------------
 
-    handlers: list = []
-    costs: list = []
-    #: per-entry descriptor for the block compiler: how (whether) this
-    #: handler may join a superinstruction.  None = terminal (may trap or
-    #: transfer control; ends any block it appears in).
-    descs: list = []
-    alloca_index = 0
+    # ALLOCA register slots are assigned in pc order; precomputing the map
+    # keeps the per-index builder below order-independent, which the lazy
+    # path needs (a run may reach pc 17's alloca without ever building pc 3).
+    alloca_slots: dict[int, int] = {}
+    for _pc, _instr in enumerate(instrs):
+        if _instr.op is Opcode.ALLOCA:
+            alloca_slots[_pc] = len(alloca_slots)
 
-    for index, instr in enumerate(instrs):
+    def build(index: int):
+        """Bind one pc: ``(handler, cost, desc)``.
+
+        ``desc`` is the per-entry descriptor for the block compiler: how
+        (whether) this handler may join a superinstruction.  None = terminal
+        (may trap or transfer control; ends any block it appears in).
+        """
+        instr = instrs[index]
         op = instr.op
         next_pc = index + 1
         dest = instr.dest.index + _FRAME_RESERVED if instr.dest is not None else None
@@ -824,10 +870,7 @@ def compile_function(machine, function: Function) -> CompiledFunction:
                 cost = base_cost + branch_cost  # both halves, charged up front
                 handler = gen_cmp_branch(instr, consumer)
                 desc = None  # branches on its own: ends any block
-            handlers.append(handler)
-            costs.append(cost)
-            descs.append(desc)
-            continue
+            return handler, cost, desc
 
         if op is Opcode.LABEL or op is Opcode.NOP:
             cost = 0
@@ -908,8 +951,7 @@ def compile_function(machine, function: Function) -> CompiledFunction:
                 desc = ("goto", stop)
 
         elif op is Opcode.ALLOCA:
-            slot = alloca_index
-            alloca_index += 1
+            slot = alloca_slots[index]
             size = instr.attrs.get("size", 8)
             alloc_type = instr.attrs.get("alloc_type")
             alignment = max(8, alloc_type.alignment(ctx) if alloc_type is not None else 8)
@@ -1294,23 +1336,73 @@ def compile_function(machine, function: Function) -> CompiledFunction:
             def handler(frame, op=op):
                 raise InterpreterError(f"unsupported IR opcode {op}")
 
-        handlers.append(handler)
-        costs.append(cost)
-        descs.append(desc)
+        return handler, cost, desc
 
-    code = CompiledFunction(function, handlers, costs, nregs, alloca_index)
-    if SUPERINSTRUCTIONS and len(handlers) > 1:
+    def cost_of(index: int) -> int:
+        """Dispatch cost of pc ``index`` without building its handler.
+
+        Mirrors ``build``'s cost assignments branch for branch (the same
+        rules ``artifact._generic_descs_and_costs`` mirrors); the lazy path
+        fills ``paired`` with these up front so budget/cycle accounting
+        never waits for a handler to materialize.
+        """
+        fusion = fused.get(index)
+        if fusion is not None:
+            return base_cost + (base_cost if fusion[0] == "mem" else branch_cost)
+        op = instrs[index].op
+        if op is Opcode.LABEL or op is Opcode.NOP:
+            return 0
+        if op is Opcode.JUMP or op is Opcode.CJUMP:
+            return branch_cost
+        if op is Opcode.CALL:
+            return call_cost
+        return base_cost
+
+    nallocas = len(alloca_slots)
+    lazy = machine.lazy_binding and shared_blocks
+    if lazy:
+        # Lazy per-pc binding: every pc starts as a cheap dispatch thunk and
+        # builds its real closure only on first execution
+        # (CompiledFunction.materialize), so binding cost is proportional to
+        # the pcs a run actually reaches — a lane that traps early, or a
+        # branch path never taken, never pays for the rest of the function.
+        # The lockstep sweep path turns this on; its saving is what makes
+        # N-lane batching beat N serial runs (docs/pipeline.md).
+        costs = [cost_of(i) for i in range(stop)]
+        code = CompiledFunction(function, [None] * stop, costs, nregs, nallocas)
+        code.builder = build
+        code.built = {}
+        paired = code.paired
+        for i in range(stop):
+            paired[i] = (partial(_lazy_step, code, i), costs[i])
+        descs = None
+    else:
+        handlers: list = []
+        costs = []
+        descs = []
+        for i in range(stop):
+            handler, cost, desc = build(i)
+            handlers.append(handler)
+            costs.append(cost)
+            descs.append(desc)
+        code = CompiledFunction(function, handlers, costs, nregs, nallocas)
+    if SUPERINSTRUCTIONS and stop > 1:
         if shared_blocks:
             # Tiered binding: a sweep-style machine executes most functions
             # once or twice, where block binding never amortizes.  The
             # dispatch loop installs the artifact's cached plans when the
-            # function proves hot (see AbstractMachine._execute).
+            # function proves hot (see AbstractMachine._execute).  Lazy
+            # machines hand the installer a materializing accessor so a
+            # block's interior ``h<k>`` bindings are built exactly when the
+            # block is.
+            get_handler = code.materialize if lazy else handlers.__getitem__
+
             def install(machine=machine, function=function, code=code,
-                        handlers=handlers, costs=costs, artifact=artifact,
+                        get_handler=get_handler, costs=costs, artifact=artifact,
                         timing=(base_cost, branch_cost, call_cost),
                         fast_noprov=fast_noprov, inline_moves=inline_moves,
                         inline_field=inline_field):
-                _install_shared_blocks(machine, function, code, handlers,
+                _install_shared_blocks(machine, function, code, get_handler,
                                        costs, artifact, timing, fast_noprov,
                                        inline_moves, inline_field)
 
@@ -1352,7 +1444,7 @@ def _budget_replay(machine, cost_seq: tuple, fname: str):
 
 
 def _install_shared_blocks(machine, function: Function, code: CompiledFunction,
-                           handlers: list, costs: list, artifact,
+                           get_handler, costs: list, artifact,
                            timing: tuple[int, int, int], fast_noprov: bool,
                            inline_moves: bool, inline_field: bool) -> None:
     """Instantiate the artifact's shared superinstruction plans for one machine.
@@ -1372,7 +1464,7 @@ def _install_shared_blocks(machine, function: Function, code: CompiledFunction,
         b["fname"] = function.name
         b["budget_replay"] = _budget_replay
         for k in plan.handler_indices:
-            b[f"h{k}"] = handlers[k]
+            b[f"h{k}"] = get_handler(k)
         if profiled:
             counter = [0]
             machine.block_profile[(function.name, plan.start)] = {

@@ -1,0 +1,422 @@
+"""Batch-equivalence harness for the lockstep engine (repro.interp.lockstep).
+
+Lockstep execution is only trustworthy if it is *observationally invisible*:
+every lane of a batch must produce, bit for bit, the result the serial
+engine produces for the same (program, model) cell.  These tests pin that
+across every model, trap and budget edge:
+
+* a seeded 64-program mini-sweep compares batched vs sequential per-lane
+  observables (output, checkpoints, trap kind + message, the budget
+  counters) for all 7 models, in both ``pairs`` and ``all`` grouping;
+* directed programs exercise the divergence edges — a mid-block trap in
+  exactly one lane, budget exhaustion in one lane while a sibling trapped
+  earlier, and a block-engine fallback (demotion) in one lane while
+  siblings keep their block handlers;
+* a ≥1000-program property sweep checks divergence-mask totality (every
+  lane lands in exactly one of retired/rejoined/completed) and that lane
+  order never changes sibling observables;
+* the retained-trap scrub (machine.scrub_trap) clears tracebacks along the
+  whole ``__context__``/``__cause__`` chain on both engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import compile_for_model
+from repro.difftest.generator import generate_program
+from repro.difftest.oracle import classify_results
+from repro.difftest.runner import DEFAULT_BUDGET, DifferentialRunner
+from repro.interp.lockstep import (
+    COMPLETED,
+    REJOINED,
+    RETIRED,
+    LaneOutcome,
+    run_lockstep,
+)
+from repro.interp.machine import AbstractMachine, scrub_trap
+from repro.interp.models import PAPER_MODEL_ORDER, get_model
+from repro.telemetry import metrics
+
+#: the 8-byte-pointer layout group, in paper order (the 32-byte group is
+#: cheri_v2 + cheri_v3).
+EIGHT_BYTE = ("pdp11", "hardbound", "mpx", "relaxed", "strict")
+CAPABILITY = ("cheri_v2", "cheri_v3")
+
+
+def _observables(result) -> dict:
+    return dict(
+        instructions=result.instructions,
+        cycles=result.cycles,
+        memory_accesses=result.memory_accesses,
+        allocations=result.allocations,
+        allocated_bytes=result.allocated_bytes,
+        output=bytes(result.output),
+        exit_code=result.exit_code,
+        trap_type=type(result.trap).__name__ if result.trap else None,
+        trap_text=str(result.trap) if result.trap else None,
+        checkpoints=result.checkpoints,
+        engine_fallbacks=result.engine_fallbacks,
+        model_name=result.model_name,
+    )
+
+
+def _serial_run(source: str, model: str, *, budget: int = 10_000_000,
+                hook=None):
+    module = compile_for_model(source, model)
+    machine = AbstractMachine(module, get_model(model),
+                              max_instructions=budget, shared_blocks=True)
+    if hook is not None:
+        hook(machine, model)
+    return machine.run()
+
+
+def _lockstep_group(source: str, models, *, budget: int = 10_000_000,
+                    hook=None) -> list[LaneOutcome]:
+    # One module per group: lanes must share the function objects (and so
+    # the predecode artifact), exactly like the runner's layout groups.
+    module = compile_for_model(source, models[0])
+    machines = []
+    for name in models:
+        machine = AbstractMachine(module, get_model(name),
+                                  max_instructions=budget, shared_blocks=True,
+                                  lazy_binding=True)
+        if hook is not None:
+            hook(machine, name)
+        machines.append(machine)
+    return run_lockstep(machines)
+
+
+# ---------------------------------------------------------------------------
+# Seeded mini-sweep: batched == sequential for every model
+# ---------------------------------------------------------------------------
+
+MINI_SWEEP_SEED = 0
+MINI_SWEEP_COUNT = 64
+
+
+@pytest.mark.parametrize("mode", ["pairs", "all"])
+def test_mini_sweep_batched_equals_sequential(mode: str) -> None:
+    """64 generated programs, all 7 models, per-lane bit-identity."""
+    programs = [generate_program(MINI_SWEEP_SEED, i)
+                for i in range(MINI_SWEEP_COUNT)]
+    serial = DifferentialRunner().sweep(programs)
+    batched = DifferentialRunner(lockstep=mode).sweep(programs)
+    trapped = 0
+    for index, (expect, got) in enumerate(zip(serial, batched)):
+        assert list(got.results) == list(expect.results), index
+        assert got.compile_errors == expect.compile_errors, index
+        for name in expect.results:
+            assert _observables(got.results[name]) == \
+                _observables(expect.results[name]), (index, name)
+            trapped += expect.results[name].trap is not None
+        # the oracle sees identical cells, so Table 5 rows are identical
+        assert classify_results(got) == classify_results(expect), index
+    # non-vacuity: the corpus exercised traps, not just clean runs
+    assert trapped > 0
+
+
+def test_mini_sweep_counters_account_for_every_lane() -> None:
+    """Sweep telemetry: lane/round counters and the occupancy histogram."""
+    programs = [generate_program(MINI_SWEEP_SEED, i)
+                for i in range(MINI_SWEEP_COUNT)]
+    registry = metrics.configure(True)
+    try:
+        DifferentialRunner(lockstep="all").sweep(programs)
+        counters = registry.counter_values("lockstep.")
+        snapshot = registry.snapshot()["histograms"]["lockstep.occupancy"]
+    finally:
+        metrics.configure(False)
+    assert counters["lockstep.lanes"] == MINI_SWEEP_COUNT * 7
+    assert counters["lockstep.retired.trap"] > 0
+    # every lane landed in exactly one disposition bucket
+    assert (counters["lockstep.retired.trap"]
+            + counters.get("lockstep.retired.budget", 0)
+            + counters.get("lockstep.lane.rejoined", 0)
+            + counters.get("lockstep.lane.completed", 0)) == \
+        counters["lockstep.lanes"]
+    # occupancy histogram covers every round; the cross-fork mean mirror
+    # (occupied_lane_rounds / rounds) agrees with the histogram's sum
+    assert snapshot["count"] == counters["lockstep.rounds"]
+    assert snapshot["sum"] == counters["lockstep.occupied_lane_rounds"]
+
+
+#: lanes that observe different rand() streams take different branch paths —
+#: the legitimate divergence source for a group (each lane owns its RNG).
+#: The serial comparison uses the identical per-model reseed, so batched
+#: equivalence still holds while lanes split and reconverge at loop heads.
+DIVERGENT_BRANCHES = r"""
+int main(void) {
+    long total = 0;
+    int i;
+    int r;
+    for (i = 0; i < 40; i++) {
+        r = rand() % 4;
+        if (r == 0) {
+            int j;
+            for (j = 0; j < 20; j++) { total = total + j; }
+        } else {
+            total = total + r;
+        }
+        mini_checkpoint(r);
+    }
+    mini_output_int(total);
+    return 0;
+}
+"""
+
+
+def _reseed_per_lane(machine, name):
+    machine.reseed(sum(name.encode()))
+
+
+def test_diverged_lanes_rejoin_with_serial_observables() -> None:
+    """Branch-split lanes diverge, rejoin, and stay bit-identical to serial."""
+    registry = metrics.configure(True)
+    try:
+        outcomes = _lockstep_group(DIVERGENT_BRANCHES, EIGHT_BYTE,
+                                   hook=_reseed_per_lane)
+        counters = registry.counter_values("lockstep.")
+    finally:
+        metrics.configure(False)
+    assert counters["lockstep.divergences"] > 0
+    assert counters["lockstep.rejoins"] > 0
+    rejoined = 0
+    for outcome in outcomes:
+        expect = _serial_run(DIVERGENT_BRANCHES, outcome.model_name,
+                             hook=_reseed_per_lane)
+        assert _observables(outcome.result) == _observables(expect), \
+            outcome.model_name
+        rejoined += outcome.disposition == REJOINED
+    assert rejoined > 0
+    # per-lane checkpoints prove the lanes really took different paths
+    checkpoint_streams = {tuple(o.result.checkpoints) for o in outcomes}
+    assert len(checkpoint_streams) > 1
+
+
+# ---------------------------------------------------------------------------
+# Directed divergence edges
+# ---------------------------------------------------------------------------
+
+#: f() is called repeatedly so the shared-block tier installs its
+#: superinstructions (HOT_CALL_THRESHOLD) before the out-of-bounds step:
+#: checked lanes trap *mid-block* on the 11th call while pdp11 keeps going.
+TRAP_ONE_LANE = r"""
+int arr[10];
+int f(int i) {
+    arr[i] = i * 3;
+    return arr[i] + i;
+}
+int main(void) {
+    int total = 0;
+    int i;
+    for (i = 0; i < 24; i++) { total = total + f(i); }
+    mini_output_int(total);
+    return 0;
+}
+"""
+
+
+def test_mid_block_trap_in_exactly_one_lane_group() -> None:
+    outcomes = _lockstep_group(TRAP_ONE_LANE, EIGHT_BYTE)
+    for outcome in outcomes:
+        expect = _serial_run(TRAP_ONE_LANE, outcome.model_name)
+        assert _observables(outcome.result) == _observables(expect), \
+            outcome.model_name
+    by_name = {o.model_name: o for o in outcomes}
+    # pdp11 silently corrupts and completes; the checked lanes retire
+    assert by_name["pdp11"].result.trap is None
+    assert by_name["pdp11"].disposition in (COMPLETED, REJOINED)
+    assert by_name["strict"].result.trap is not None
+    assert by_name["strict"].disposition == RETIRED
+    # the retired lanes really did diverge from their surviving sibling
+    assert by_name["pdp11"].result.instructions > \
+        by_name["strict"].result.instructions
+
+
+def test_budget_exhaustion_in_one_lane_mid_superinstruction() -> None:
+    """One lane exhausts its budget mid-batch while a sibling trapped early.
+
+    The checked lane retires on the out-of-bounds store after a few calls;
+    pdp11 keeps executing until its (identical) budget runs out inside a
+    block's charge group.  Both must mirror the serial engine exactly —
+    counter values, trap message, everything.
+    """
+    full = _serial_run(TRAP_ONE_LANE, "pdp11")
+    assert full.trap is None
+    trap_at = _serial_run(TRAP_ONE_LANE, "strict").instructions
+    # budgets strictly between the checked trap point and pdp11's total,
+    # spread so several land inside a superinstruction charge group
+    budgets = sorted({trap_at + 3 + step * (full.instructions - trap_at) // 7
+                      for step in range(1, 7)})
+    for budget in budgets:
+        outcomes = _lockstep_group(TRAP_ONE_LANE, ("pdp11", "strict"),
+                                   budget=budget)
+        by_name = {o.model_name: o for o in outcomes}
+        for name, outcome in by_name.items():
+            expect = _serial_run(TRAP_ONE_LANE, name, budget=budget)
+            assert _observables(outcome.result) == _observables(expect), \
+                (name, budget)
+        assert by_name["pdp11"].disposition == RETIRED
+        assert "instruction budget" in str(by_name["pdp11"].result.trap)
+        assert by_name["pdp11"].result.instructions == budget + 1
+        assert by_name["strict"].disposition == RETIRED
+        assert "instruction budget" not in str(by_name["strict"].result.trap)
+
+
+class _InjectedEngineError(RuntimeError):
+    pass
+
+
+def test_lane_falls_back_while_siblings_continue() -> None:
+    """A block-engine demotion in one lane must not disturb its siblings."""
+
+    def hook_one_lane(machine, name):
+        if name == "hardbound":
+            machine.arm_engine_fault(_InjectedEngineError)
+
+    outcomes = _lockstep_group(TRAP_ONE_LANE, EIGHT_BYTE, hook=hook_one_lane)
+    for outcome in outcomes:
+        expect = _serial_run(TRAP_ONE_LANE, outcome.model_name,
+                             hook=hook_one_lane)
+        assert _observables(outcome.result) == _observables(expect), \
+            outcome.model_name
+    by_name = {o.model_name: o for o in outcomes}
+    assert by_name["hardbound"].result.engine_fallbacks > 0
+    for name in ("pdp11", "mpx", "relaxed", "strict"):
+        assert by_name[name].result.engine_fallbacks == 0, name
+
+
+# ---------------------------------------------------------------------------
+# Property sweep: divergence-mask totality and lane-order invariance
+# ---------------------------------------------------------------------------
+
+PROPERTY_SEED = 7
+PROPERTY_COUNT = 1000
+
+_DISPOSITIONS = (RETIRED, REJOINED, COMPLETED)
+
+
+def _layout_outcomes(source: str, models) -> list[LaneOutcome] | None:
+    try:
+        return _lockstep_group(source, models, budget=DEFAULT_BUDGET)
+    except Exception:
+        # compile failures are layout-wide and engine-independent; the
+        # equivalence of *those* is covered by the mini-sweep via the runner
+        return None
+
+
+def test_divergence_mask_totality_over_generated_corpus() -> None:
+    """≥1000 seeded programs: every lane gets exactly one disposition.
+
+    Also checks, on a deterministic subsample, that reversing lane order —
+    which permutes retirement order within every round — changes no lane's
+    observables (lanes share no mutable state, so scheduling must be
+    invisible).
+    """
+    dispositions_seen = set()
+    checked = reordered = 0
+    for index in range(PROPERTY_COUNT):
+        program = generate_program(PROPERTY_SEED, index)
+        for models in (EIGHT_BYTE, CAPABILITY):
+            outcomes = _layout_outcomes(program.source, models)
+            if outcomes is None:
+                continue
+            assert [o.model_name for o in outcomes] == list(models)
+            for outcome in outcomes:
+                checked += 1
+                assert outcome.disposition in _DISPOSITIONS, (
+                    index, outcome.model_name, outcome.disposition)
+                dispositions_seen.add(outcome.disposition)
+                # a disposition is consistent with its packaged result
+                if outcome.disposition == RETIRED:
+                    assert outcome.result.trap is not None
+                else:
+                    assert outcome.result.trap is None
+            if index % 50 == 0:
+                # lane-order permutation: reversed grouping, same results
+                flipped = _layout_outcomes(program.source,
+                                           tuple(reversed(models)))
+                assert flipped is not None
+                expect = {o.model_name: _observables(o.result)
+                          for o in outcomes}
+                for outcome in flipped:
+                    reordered += 1
+                    assert _observables(outcome.result) == \
+                        expect[outcome.model_name], (index, outcome.model_name)
+    assert checked >= PROPERTY_COUNT  # non-vacuity
+    assert reordered > 0
+    # The generated corpus exercises RETIRED and COMPLETED but cannot
+    # produce REJOINED: within a pointer layout every surviving lane
+    # computes identical raw bytes, so branches never split.  Fold in the
+    # directed divergent-branch group (per-lane reseed makes rand() differ)
+    # so the property covers all three dispositions.
+    diverged = _lockstep_group(DIVERGENT_BRANCHES, EIGHT_BYTE,
+                               hook=_reseed_per_lane)
+    for outcome in diverged:
+        checked += 1
+        assert outcome.disposition in _DISPOSITIONS
+        dispositions_seen.add(outcome.disposition)
+    # the suite must exercise every disposition or the property is weak
+    assert dispositions_seen == set(_DISPOSITIONS)
+
+
+# ---------------------------------------------------------------------------
+# Retained-trap scrub (the PR 5 leak fix, extended to chained frames)
+# ---------------------------------------------------------------------------
+
+
+def _chain_tracebacks(exc) -> list:
+    found, stack, seen = [], [exc], set()
+    while stack:
+        err = stack.pop()
+        if err is None or id(err) in seen:
+            continue
+        seen.add(id(err))
+        if err.__traceback__ is not None:
+            found.append(err)
+        stack.extend((err.__cause__, err.__context__))
+    return found
+
+
+def test_scrub_trap_clears_whole_context_chain() -> None:
+    try:
+        try:
+            raise ValueError("inner")
+        except ValueError:
+            raise KeyError("outer") from None
+    except KeyError as exc:
+        trap = exc
+    assert trap.__context__ is not None  # ``from None`` hides, not unlinks
+    assert _chain_tracebacks(trap)
+    scrub_trap(trap)
+    assert not _chain_tracebacks(trap)
+    # the structured chain itself survives (the oracle reads it)
+    assert isinstance(trap.__context__, ValueError)
+    scrub_trap(None)  # tolerated, like the runner's trap-less path
+
+
+#: read_global raises ``from None``, so the surfaced trap carries a chained
+#: exception whose traceback holds interpreter frames — the leak the scrub
+#: exists to cut.  Division traps cover the UndefinedBehaviorError path.
+CHAINED_TRAP = r"""
+int main(void) {
+    int arr[4];
+    int i = 0;
+    for (i = 0; i < 4; i++) { arr[i] = i; }
+    return arr[0] / (arr[1] - arr[1]);
+}
+"""
+
+
+@pytest.mark.parametrize("lockstep", [None, "all"])
+def test_runner_traps_have_no_retained_tracebacks(lockstep) -> None:
+    runner = DifferentialRunner(lockstep=lockstep)
+    out = runner.run_source(CHAINED_TRAP)
+    trapped = 0
+    for name, result in out.results.items():
+        if result.trap is None:
+            continue
+        trapped += 1
+        assert not _chain_tracebacks(result.trap), (name, lockstep)
+    assert trapped == len(PAPER_MODEL_ORDER)  # division traps everywhere

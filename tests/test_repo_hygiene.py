@@ -104,6 +104,21 @@ def test_docs_exist():
     assert {"models.md", "difftest.md", "pipeline.md"} <= names
 
 
+def test_lockstep_engine_is_documented():
+    """The batched engine's user-facing contract lives in the docs, not
+    just the module docstring: ``docs/pipeline.md`` must describe the lane
+    layout, divergence mask, rejoin rule and fallback contract, and
+    ``PERFORMANCE.md`` must carry the measured sweep numbers."""
+    pipeline = (REPO_ROOT / "docs" / "pipeline.md").read_text(encoding="utf-8")
+    assert "## Lockstep batched execution" in pipeline
+    for term in ("Lane layout", "Divergence mask", "rejoin", "sync pc",
+                 "Fallback contract", "lockstep.py"):
+        assert term in pipeline, f"pipeline.md lost the {term!r} coverage"
+    performance = (REPO_ROOT / "PERFORMANCE.md").read_text(encoding="utf-8")
+    assert "lockstep" in performance.lower(), (
+        "PERFORMANCE.md must document the lockstep sweep numbers")
+
+
 def test_docs_internal_links_resolve():
     broken = []
     for page in _doc_pages():
